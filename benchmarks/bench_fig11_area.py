@@ -1,0 +1,51 @@
+"""Fig. 11: DRAM die-area overhead comparison.
+
+Paper points: DDB alone 0.05%; RAP 0.06% at 2 planes growing ~linearly
+per plane-doubling; EWLR +0.06%; full ERUCA < 0.3% up to 4 planes;
+Half-DRAM 1.46%; MASA4 3.03%; MASA8 4.76%; paired-bank saves 1.1%.
+"""
+
+from conftest import print_header
+
+from repro.core.area import (
+    HALF_DRAM_OVERHEAD_PCT,
+    MASA_OVERHEAD_PCT,
+    ddb_overhead_pct,
+    eruca_overhead_pct,
+    fig11_table,
+    paired_bank_overhead_pct,
+)
+from repro.core.mechanisms import EruConfig
+
+PAPER = {
+    ("RAP", 2): 0.06, ("RAP", 4): 0.12,
+    ("RAP", 8): 0.19, ("RAP", 16): 0.25,
+    ("DDB+EWLR+RAP", 2): 0.17, ("DDB+EWLR+RAP", 4): 0.23,
+    ("DDB+EWLR+RAP", 8): 0.30, ("DDB+EWLR+RAP", 16): 0.36,
+}
+
+
+def test_fig11_area(benchmark):
+    rows = benchmark(fig11_table)
+
+    print_header("Fig. 11: DRAM area overhead (percent of 8Gb x4 die)")
+    print(f"{'scheme':28s} {'planes':>6s} {'model':>8s} {'paper':>8s}")
+    for r in rows:
+        ref = PAPER.get((r.scheme, r.planes))
+        ref_s = f"{ref:.2f}%" if ref is not None else ""
+        print(f"{r.scheme:28s} {r.planes:6d} "
+              f"{r.overhead_pct:7.3f}% {ref_s:>8s}")
+    print(f"{'DDB alone':28s} {'':6s} {ddb_overhead_pct():7.3f}%"
+          f"{'0.05%':>9s}")
+
+    # Paper's headline claims.
+    full4 = eruca_overhead_pct(EruConfig.full(4))
+    assert full4 < 0.3, "ERUCA must stay under 0.3% up to 4 planes"
+    assert HALF_DRAM_OVERHEAD_PCT / full4 > 5, \
+        "ERUCA must be >5x cheaper than Half-DRAM"
+    assert paired_bank_overhead_pct(EruConfig.full(4)) < 0
+    for (scheme, planes), ref in PAPER.items():
+        mine = next(r.overhead_pct for r in rows
+                    if (r.scheme, r.planes) == (scheme, planes))
+        assert abs(mine - ref) < 0.05, (scheme, planes, mine, ref)
+    assert MASA_OVERHEAD_PCT[8] > MASA_OVERHEAD_PCT[4]

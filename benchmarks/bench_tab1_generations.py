@@ -1,0 +1,32 @@
+"""Tab. I: specifications of DRAM generations.
+
+Static data, but benched so the harness covers every table: the timed
+kernel is building the derived DDR4 timing preset across the Fig. 14
+frequency range.
+"""
+
+from conftest import print_header
+
+from repro.dram.timing import (
+    FIG14_BUS_FREQUENCIES_HZ,
+    GENERATIONS,
+    ddr4_timings,
+)
+
+
+def test_tab1_generations(benchmark):
+    benchmark(lambda: [ddr4_timings(f) for f in FIG14_BUS_FREQUENCIES_HZ])
+
+    print_header("Tab. I: Specifications of DRAM generations")
+    header = f"{'':24s}" + "".join(f"{g.name:>12s}" for g in GENERATIONS)
+    print(header)
+    for field, label in (("bank_count", "Bank count"),
+                         ("channel_clock_mhz", "Channel clock (MHz)"),
+                         ("core_clock_mhz", "DRAM core clock (MHz)"),
+                         ("internal_prefetch", "Internal prefetch")):
+        row = f"{label:24s}" + "".join(
+            f"{getattr(g, field):>12s}" for g in GENERATIONS)
+        print(row)
+
+    assert GENERATIONS[-1].name == "DDR4"
+    assert len(GENERATIONS) == 4

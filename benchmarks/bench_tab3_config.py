@@ -1,0 +1,64 @@
+"""Tab. III: system configuration, timing parameters and mixes.
+
+Prints the evaluated configuration exactly as the paper's table lays it
+out and asserts the timing-parameter scoping rules (Ideal vs bank
+groups vs DDB).  The timed kernel builds every named system
+configuration.
+"""
+
+from conftest import print_header
+
+from repro.cpu.core import CoreConfig
+from repro.dram.resources import BusPolicy
+from repro.sim.config import (
+    bg32,
+    ddr4_baseline,
+    half_dram,
+    ideal32,
+    masa,
+    masa_eruca,
+    paired_bank,
+    vsb,
+)
+from repro.workloads.mixes import MIXES
+
+
+def all_configs():
+    return [ddr4_baseline(), bg32(), ideal32(), vsb(), paired_bank(),
+            half_dram(), masa(4), masa(8), masa_eruca(8)]
+
+
+def test_tab3_configuration(benchmark):
+    configs = benchmark(all_configs)
+
+    core = CoreConfig()
+    base = ddr4_baseline()
+    t = base.timing()
+    print_header("Tab. III: evaluation parameters")
+    print(f"Processor: {len(MIXES['mix0'][0])}-core OoO x86, "
+          f"{core.clock_hz / 1e9:.0f} GHz, issue width "
+          f"{core.issue_width}, ROB {core.rob_size}")
+    print(f"DRAM: DDR4 {base.bus_frequency_hz / 1e9:.2f} GHz "
+          f"({t.tCL // t.tCK}-{t.tRCD // t.tCK}-{t.tRP // t.tCK}), "
+          f"{base.channels} channels x 1 rank, "
+          f"{base.bank_groups * base.banks_per_group} banks in "
+          f"{base.bank_groups} groups, FR-FCFS")
+    print("\nTiming parameter scoping (Ideal / bank groups / DDB):")
+    print(f"  tCCD_S={t.tCCD_S} ps   diff banks / diff BGs / diff banks")
+    print(f"  tCCD_L={t.tCCD_L} ps   same bank  / same BG  / same bank")
+    print(f"  tWTR_S={t.tWTR_S} ps   diff banks / diff BGs / diff banks")
+    print(f"  tWTR_L={t.tWTR_L} ps   same bank  / same BG  / same bank")
+    ddb_t = vsb().timing()
+    print(f"  tTCW={ddb_t.tTCW} ps / tTWTRW={ddb_t.tTWTRW} ps  "
+          "(DDB only, same BG)")
+    print("\nMixes:")
+    for mix, (names, sig) in MIXES.items():
+        print(f"  {mix}: {':'.join(names):44s} {sig}")
+
+    # Scoping rules.
+    assert ideal32().bus_policy is BusPolicy.NO_GROUPS
+    assert ddr4_baseline().bus_policy is BusPolicy.BANK_GROUPS
+    assert vsb().bus_policy is BusPolicy.DDB
+    assert ddb_t.tTCW == 5000  # one DRAM core clock
+    assert len(MIXES) == 9
+    assert len(configs) == 9

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Explore the Fig. 11 die-area model: cost of each ERUCA mechanism.
+
+Prints the area overhead of every mechanism combination across plane
+counts, the DDB component breakdown, and the comparison against prior
+sub-banking schemes -- the paper's "<0.3% for everything" claim.
+
+Run:  python examples/area_explorer.py
+"""
+
+from repro.core.area import (
+    HALF_DRAM_OVERHEAD_PCT,
+    MASA_OVERHEAD_PCT,
+    ddb_overhead_pct,
+    eruca_overhead_pct,
+    latch_select_wire_overhead_pct,
+    paired_bank_overhead_pct,
+    vsb_latch_overhead_pct,
+)
+from repro.core.mechanisms import EruConfig
+
+
+def main() -> None:
+    print("ERUCA die-area overhead (percent of an 8Gb x4 DDR4 die)\n")
+    print(f"{'configuration':24s} " + " ".join(
+        f"{n:>3d}P" for n in (2, 4, 8, 16)))
+    for label, ewlr, rap, ddb in (
+            ("RAP", False, True, False),
+            ("EWLR+RAP", True, True, False),
+            ("DDB+RAP", False, True, True),
+            ("DDB+EWLR+RAP", True, True, True)):
+        row = []
+        for planes in (2, 4, 8, 16):
+            cfg = EruConfig(planes=planes, ewlr=ewlr, rap=rap, ddb=ddb)
+            row.append(f"{eruca_overhead_pct(cfg):4.2f}")
+        print(f"{label:24s} " + " ".join(f"{v:>4s}" for v in row))
+
+    print("\ncomponent breakdown at 4 planes (EWLR on):")
+    print(f"  latch sets          {vsb_latch_overhead_pct(4, True):6.3f}%")
+    print(f"  latch-select wires  "
+          f"{latch_select_wire_overhead_pct(4, True):6.3f}%")
+    print(f"  DDB (switches+mux+wires) {ddb_overhead_pct():6.3f}%")
+
+    print("\nversus prior work:")
+    full = eruca_overhead_pct(EruConfig.full(4))
+    print(f"  ERUCA (4P, all mechanisms)  {full:6.2f}%")
+    print(f"  Half-DRAM                   {HALF_DRAM_OVERHEAD_PCT:6.2f}%"
+          f"  ({HALF_DRAM_OVERHEAD_PCT / full:4.1f}x ERUCA)")
+    for groups, pct in MASA_OVERHEAD_PCT.items():
+        print(f"  MASA{groups}                       {pct:6.2f}%"
+              f"  ({pct / full:4.1f}x ERUCA)")
+    paired = paired_bank_overhead_pct(EruConfig.full(4))
+    print(f"  Paired-bank ERUCA           {paired:6.2f}%  (a net saving)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Extension: ERUCA on a GDDR5-like graphics memory (paper Section V).
+
+The paper reports a preliminary experiment applying DDB-style dual
+buses to GDDR5 with a simulated GPGPU and observing ~10% speedup on
+memory-intensive Rodinia kernels.  This example approximates that
+setting: a much faster channel clock (GDDR5's bank-group era), and
+latency-tolerant "GPU-like" cores (huge instruction windows, massive
+MLP, streaming-heavy traffic).
+
+Run:  python examples/gddr5_extension.py [accesses]
+"""
+
+import sys
+
+from repro import CoreConfig, EruConfig, run_traces
+from repro.sim.config import ddr4_baseline, vsb
+from repro.workloads.generator import generate_traces
+from repro.workloads.profiles import BenchmarkProfile
+
+
+def gpu_core() -> CoreConfig:
+    """A latency-tolerant SM-like front end: modest clock, wide issue,
+    an effectively huge window (warps hide latency)."""
+    return CoreConfig(clock_hz=1.4e9, issue_width=16, rob_size=1024)
+
+
+def rodinia_like(name: str, mpki: float) -> BenchmarkProfile:
+    """Streaming GPU kernels: near-pure streams, wide footprints."""
+    return BenchmarkProfile(
+        name=name, mpki=mpki, intensity="H", footprint_mb=512,
+        stream_fraction=0.92, stream_count=16,
+        hot_fraction=0.3, hot_set=0.05,
+        write_fraction=0.3, neighbor_fraction=0.25,
+        dependent_fraction=0.02)
+
+
+def main() -> None:
+    accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 2500
+    profiles = [rodinia_like("hotspot", 55), rodinia_like("srad", 48),
+                rodinia_like("lud", 40), rodinia_like("bfs", 60)]
+    traces = generate_traces(profiles, accesses, fragmentation=0.1,
+                             seed=0)
+
+    # GDDR5-class channel: the core-to-channel frequency gap is what
+    # makes the dual-bus scheme matter (Fig. 14's regime).
+    gddr_clock = 2.5e9
+    core = gpu_core()
+
+    baseline = ddr4_baseline().at_frequency(gddr_clock)
+    bank_grouped = vsb(EruConfig.full(4, ddb=False)).at_frequency(
+        gddr_clock)
+    with_ddb = vsb(EruConfig.full(4, ddb=True)).at_frequency(gddr_clock)
+
+    print(f"GDDR5-like channel at {gddr_clock / 1e9:.1f} GHz, "
+          f"GPU-like cores, {accesses} accesses/core\n")
+    base_ipc = None
+    for config in (baseline, bank_grouped, with_ddb):
+        result = run_traces(config, traces, core_config=core)
+        ipc = sum(result.ipcs)
+        if base_ipc is None:
+            base_ipc = ipc
+        print(f"{config.name:44s} speedup={ipc / base_ipc:5.3f}")
+
+    print("\npaper (Section V): ~10% speedup from DDB-style dual buses "
+          "on memory-intensive GPU kernels.")
+
+
+if __name__ == "__main__":
+    main()

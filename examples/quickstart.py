@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: measure ERUCA's speedup over baseline DDR4 on one mix.
+
+Builds the paper's mix0 (mcf + lbm + omnetpp + gemsFDTD) at 10% memory
+fragmentation, runs it on baseline DDR4, on ERUCA (4-plane VSB with
+EWLR + RAP + DDB), and on the idealised 32-bank DRAM, then reports
+throughput, conflict statistics, and EWLR activity.
+
+Run:  python examples/quickstart.py [accesses_per_core]
+"""
+
+import sys
+
+from repro import EruConfig, ddr4_baseline, ideal32, run_traces, vsb
+from repro.workloads.mixes import mix_traces
+
+
+def main() -> None:
+    accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    print(f"generating mix0 traces ({accesses} accesses/core, "
+          "fragmentation 10%)...")
+    traces = mix_traces("mix0", accesses_per_core=accesses,
+                        fragmentation=0.1, seed=0)
+    for trace in traces:
+        print(f"  {trace.name:10s} MPKI={trace.mpki():5.1f} "
+              f"reads={trace.reads} writes={trace.writes}")
+
+    configs = [
+        ddr4_baseline(),
+        vsb(EruConfig.naive(planes=4)),
+        vsb(EruConfig.full(planes=4)),
+        ideal32(),
+    ]
+    baseline_ipc = None
+    print(f"\n{'config':28s} {'IPC sum':>8s} {'speedup':>8s} "
+          f"{'row hit':>8s} {'plane-pre':>10s}")
+    for config in configs:
+        result = run_traces(config, traces)
+        ipc = sum(result.ipcs)
+        if baseline_ipc is None:
+            baseline_ipc = ipc
+        hit_rate = 1 - result.stats.acts / max(1, result.stats.columns)
+        print(f"{config.name:28s} {ipc:8.3f} {ipc / baseline_ipc:8.3f} "
+              f"{hit_rate:8.1%} "
+              f"{result.plane_conflict_precharge_fraction:10.1%}")
+
+    print("\nExpected shape (paper Fig. 12): naive VSB < ERUCA "
+          "(EWLR+RAP+DDB) <= Ideal32, all above DDR4.")
+
+
+if __name__ == "__main__":
+    main()

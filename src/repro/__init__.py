@@ -1,0 +1,65 @@
+"""ERUCA reproduction: sub-bank conflict avoidance and dual-data-bus
+DRAM parallelism (Lym et al., HPCA 2018), with a from-scratch DDR4
+timing simulator, trace-driven cores, and synthetic SPEC-like workloads.
+
+Typical use::
+
+    from repro import EruConfig, run_traces, vsb, ddr4_baseline
+    from repro.workloads.mixes import mix_traces
+
+    traces = mix_traces("mix0", accesses_per_core=2000)
+    base = run_traces(ddr4_baseline(), traces)
+    eruca = run_traces(vsb(EruConfig.full(planes=4)), traces)
+    print(sum(eruca.ipcs) / sum(base.ipcs))
+
+The experiment runners that regenerate every paper figure live in
+:mod:`repro.sim.experiments`; the area model in :mod:`repro.core.area`;
+the Fig. 4 trace study in :mod:`repro.analysis.plane_conflict`.
+"""
+
+from repro.core.mechanisms import EruConfig
+from repro.cpu.core import CoreConfig, TraceCore
+from repro.cpu.trace import Trace, TraceEntry
+from repro.sim.config import (
+    SystemConfig,
+    bg32,
+    ddr4_baseline,
+    half_dram,
+    ideal32,
+    masa,
+    masa_eruca,
+    paired_bank,
+    vsb,
+)
+from repro.sim.experiments import ExperimentContext, ExperimentSettings
+from repro.sim.simulator import (
+    MemorySystem,
+    SimulationResult,
+    Simulator,
+    run_traces,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "EruConfig",
+    "ExperimentContext",
+    "ExperimentSettings",
+    "MemorySystem",
+    "SimulationResult",
+    "Simulator",
+    "SystemConfig",
+    "Trace",
+    "TraceCore",
+    "TraceEntry",
+    "bg32",
+    "ddr4_baseline",
+    "half_dram",
+    "ideal32",
+    "masa",
+    "masa_eruca",
+    "paired_bank",
+    "run_traces",
+    "vsb",
+]

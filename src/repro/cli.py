@@ -1,0 +1,209 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+::
+
+    python -m repro list
+    python -m repro fig12 --mixes mix0,mix3 --accesses 1500
+    python -m repro fig14 --accesses 1000
+    python -m repro fig11
+    python -m repro fig4 --accesses 3000
+    python -m repro run --config vsb --mix mix0
+
+Each sub-command prints the same rows as the corresponding benchmark in
+``benchmarks/`` (the benches add assertions and timing on top).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.core.mechanisms import EruConfig
+from repro.sim import config as cfgs
+from repro.sim.experiments import (
+    ExperimentContext,
+    ExperimentSettings,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+)
+from repro.workloads.mixes import MIX_NAMES
+
+#: Shell-friendly names for the evaluated configurations.
+CONFIG_FACTORIES = {
+    "ddr4": cfgs.ddr4_baseline,
+    "bg32": cfgs.bg32,
+    "ideal32": cfgs.ideal32,
+    "vsb": cfgs.vsb,
+    "vsb-naive": lambda: cfgs.vsb(EruConfig.naive(4)),
+    "paired-bank": cfgs.paired_bank,
+    "half-dram": cfgs.half_dram,
+    "masa4": lambda: cfgs.masa(4),
+    "masa8": lambda: cfgs.masa(8),
+    "masa8-eruca": lambda: cfgs.masa_eruca(8),
+}
+
+
+def _settings(args) -> ExperimentSettings:
+    mixes = tuple(args.mixes.split(",")) if args.mixes else MIX_NAMES
+    for m in mixes:
+        if m not in MIX_NAMES:
+            raise SystemExit(f"unknown mix {m!r}")
+    return ExperimentSettings(accesses_per_core=args.accesses,
+                              fragmentation=args.fragmentation,
+                              seed=args.seed, mixes=mixes)
+
+
+def cmd_list(args) -> None:
+    print("configurations:")
+    for name in CONFIG_FACTORIES:
+        print(f"  {name:14s} -> {CONFIG_FACTORIES[name]().name}")
+    print("mixes:", ", ".join(MIX_NAMES))
+    print("experiments: fig4 fig11 fig12 fig13 fig14 fig15 fig16")
+
+
+def cmd_run(args) -> None:
+    from repro.sim.simulator import run_traces
+    from repro.workloads.mixes import mix_traces
+    factory = CONFIG_FACTORIES.get(args.config)
+    if factory is None:
+        raise SystemExit(f"unknown config {args.config!r}; see 'list'")
+    config = factory()
+    traces = mix_traces(args.mix, args.accesses,
+                        fragmentation=args.fragmentation, seed=args.seed)
+    result = run_traces(config, traces)
+    print(f"config: {config.name}")
+    print(f"IPC per core: "
+          + " ".join(f"{ipc:.3f}" for ipc in result.ipcs))
+    print(f"transactions: {result.transactions}, "
+          f"commands: {result.stats.commands_issued}")
+    hit = 1 - result.stats.acts / max(1, result.stats.columns)
+    print(f"row-hit rate: {hit:.1%}, EWLR hits: {result.ewlr_hit_rate:.1%}")
+    print(f"plane-conflict precharges: "
+          f"{result.plane_conflict_precharge_fraction:.1%}")
+    print(f"elapsed: {result.elapsed_ps / 1e6:.1f} us simulated")
+
+
+def cmd_fig4(args) -> None:
+    from repro.analysis.plane_conflict import (
+        FIG4_PLANE_COUNTS, analyze_plane_conflicts)
+    from repro.controller.mapping import skylake_mapping
+    from repro.workloads.generator import generate_traces
+    from repro.workloads.profiles import PROFILES
+    names = ("mcf", "lbm", "gemsFDTD", "omnetpp")
+    traces = generate_traces([PROFILES[n] for n in names],
+                             args.accesses,
+                             fragmentation=args.fragmentation,
+                             seed=args.seed)
+    results = analyze_plane_conflicts(traces,
+                                      skylake_mapping(subbanked=True))
+    total = sum(len(t) for t in traces)
+    print(f"{'planes':>8s} {'conflict':>10s} {'no conflict':>12s}")
+    for n in FIG4_PLANE_COUNTS:
+        c = results[n]
+        print(f"{n:8d} {c.conflict_fraction(total):10.1%} "
+              f"{c.no_conflict_fraction(total):12.1%}")
+
+
+def cmd_fig11(args) -> None:
+    from repro.core.area import fig11_table
+    for row in fig11_table():
+        print(f"{row.scheme:28s} {row.planes:3d}P "
+              f"{row.overhead_pct:7.3f}%")
+
+
+def cmd_fig12(args) -> None:
+    context = ExperimentContext(_settings(args))
+    table = fig12(context)
+    norm = table.normalized()
+    gmeans = table.gmeans()
+    mixes = context.settings.mixes
+    print(f"{'config':36s} " + " ".join(f"{m:>6s}" for m in mixes)
+          + f" {'GMEAN':>7s}")
+    for config, row in norm.items():
+        cells = " ".join(f"{row[m]:6.3f}" for m in mixes)
+        print(f"{config:36s} {cells} {gmeans[config]:7.3f}")
+
+
+def cmd_fig13(args) -> None:
+    context = ExperimentContext(_settings(args))
+    for p in fig13(context):
+        print(f"{p.scheme:22s} {p.planes:2d}P frag={p.fragmentation:3.0%} "
+              f"ws={p.normalized_ws:5.3f} "
+              f"plane-pre={p.plane_precharge_fraction:5.1%} "
+              f"ewlr={p.ewlr_hit_rate:5.1%}")
+
+
+def cmd_fig14(args) -> None:
+    context = ExperimentContext(_settings(args))
+    for p in fig14(context):
+        print(f"{p.config:30s} {p.bus_frequency_hz / 1e9:4.2f}GHz "
+              f"ws={p.normalized_ws:5.3f}")
+
+
+def cmd_fig15(args) -> None:
+    context = ExperimentContext(_settings(args))
+    for name, value in fig15(context).items():
+        print(f"{name:36s} {value:6.3f}")
+
+
+def cmd_fig16(args) -> None:
+    context = ExperimentContext(_settings(args))
+    rows = fig16(context)
+    base = rows[0]
+    for row in rows:
+        s = row.latency_stats_ns
+        rel = row.relative_to(base)
+        print(f"{row.config:26s} lat mean/med/q3 = "
+              f"{s['mean']:6.1f}/{s['median']:6.1f}/{s['q3']:6.1f} ns"
+              f"   energy bg/act/total = {rel['background']:.1%}/"
+              f"{rel['activation']:.1%}/{rel['total']:.1%}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--accesses", type=int, default=1500,
+                       help="memory accesses per core (default 1500)")
+        p.add_argument("--fragmentation", type=float, default=0.1,
+                       help="FMFI level in [0,1] (default 0.1)")
+        p.add_argument("--seed", type=int, default=0)
+        return p
+
+    sub.add_parser("list", help="configurations, mixes, experiments"
+                   ).set_defaults(func=cmd_list)
+
+    run = common(sub.add_parser("run", help="one config on one mix"))
+    run.add_argument("--config", default="vsb",
+                     choices=sorted(CONFIG_FACTORIES))
+    run.add_argument("--mix", default="mix0", choices=MIX_NAMES)
+    run.set_defaults(func=cmd_run)
+
+    for name, func, needs_mixes in (
+            ("fig4", cmd_fig4, False), ("fig11", cmd_fig11, False),
+            ("fig12", cmd_fig12, True), ("fig13", cmd_fig13, True),
+            ("fig14", cmd_fig14, True), ("fig15", cmd_fig15, True),
+            ("fig16", cmd_fig16, True)):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        if name != "fig11":
+            common(p)
+        if needs_mixes:
+            p.add_argument("--mixes", default="mix0,mix3,mix6",
+                           help="comma-separated mix subset")
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""The per-channel memory controller: queues + scheduler + statistics.
+
+The controller exposes a two-phase interface so a multi-channel simulator
+can interleave command issue in global time order: :meth:`peek` proposes
+the next command and its issue time without side effects, :meth:`commit`
+applies it.  Completed transactions are returned so the CPU model can be
+notified of read completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.controller.queue import QueueConfig, TransactionQueues
+from repro.controller.scheduler import Candidate, Scheduler
+from repro.controller.transaction import Transaction
+from repro.dram.commands import CommandKind
+from repro.dram.device import Channel
+
+
+@dataclass
+class ControllerStats:
+    """Per-channel statistics the experiments aggregate."""
+
+    commands_issued: int = 0
+    acts: int = 0
+    ewlr_hits: int = 0
+    columns: int = 0
+    precharges: int = 0
+    #: Read queueing latencies (arrival -> data end), ps. Fig. 16a.
+    read_latencies: List[int] = field(default_factory=list)
+
+    def merge(self, other: "ControllerStats") -> None:
+        self.commands_issued += other.commands_issued
+        self.acts += other.acts
+        self.ewlr_hits += other.ewlr_hits
+        self.columns += other.columns
+        self.precharges += other.precharges
+        self.read_latencies.extend(other.read_latencies)
+
+
+class ChannelController:
+    """Drives one :class:`~repro.dram.device.Channel`."""
+
+    def __init__(self, channel: Channel,
+                 queue_config: QueueConfig = QueueConfig(),
+                 idle_close_ps=None) -> None:
+        self.channel = channel
+        self.queues = TransactionQueues(queue_config)
+        self.scheduler = Scheduler(channel, self.queues, idle_close_ps)
+        self.stats = ControllerStats()
+
+    # -- admission ---------------------------------------------------------
+
+    def has_room(self, is_read: bool) -> bool:
+        return self.queues.has_room(is_read)
+
+    def enqueue(self, txn: Transaction, time: int) -> None:
+        self.queues.enqueue(txn, time)
+
+    def pending(self) -> bool:
+        return self.queues.pending()
+
+    # -- scheduling ----------------------------------------------------------
+
+    def peek(self, now: int) -> Optional[Candidate]:
+        """The command this channel would issue next, or None if idle."""
+        return self.scheduler.best(now)
+
+    def commit(self, candidate: Candidate) -> List[Transaction]:
+        """Issue the candidate; returns transactions completed by it."""
+        txn = candidate.txn
+        time = candidate.issue_time
+        self.stats.commands_issued += 1
+        if candidate.kind is CommandKind.PRE:
+            bank_index, slot = candidate.victim
+            self.channel.issue_precharge(bank_index, slot, time,
+                                         candidate.cause)
+            self.stats.precharges += 1
+            return []
+        c = txn.coords
+        if candidate.kind is CommandKind.ACT:
+            ewlr_hit = self.channel.issue_act(c, time)
+            self.stats.acts += 1
+            if ewlr_hit:
+                self.stats.ewlr_hits += 1
+            return []
+        is_write = candidate.kind is CommandKind.WR
+        data_end = self.channel.issue_column(c, time, is_write)
+        txn.completion_time = data_end
+        self.queues.remove(txn)
+        self.stats.columns += 1
+        if txn.is_read:
+            self.stats.read_latencies.append(txn.queueing_latency)
+        return [txn]

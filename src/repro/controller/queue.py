@@ -1,0 +1,94 @@
+"""Per-channel transaction queues with write-drain watermarks.
+
+Reads are latency-critical and normally have priority; writes accumulate in
+the write queue and are drained in batches -- either when the queue crosses
+its high watermark (forced drain, down to the low watermark) or
+opportunistically when no reads are pending.  This is the standard
+USIMM-style policy the paper's FR-FCFS controller builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.controller.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Queue depths and drain watermarks for one channel."""
+
+    read_depth: int = 32
+    write_depth: int = 32
+    drain_high: int = 24
+    drain_low: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0 < self.drain_low < self.drain_high <= self.write_depth:
+            raise ValueError(
+                "watermarks must satisfy 0 < low < high <= depth")
+        if self.read_depth < 1:
+            raise ValueError("read queue depth must be positive")
+
+
+class TransactionQueues:
+    """Read/write queues plus the drain-mode state machine."""
+
+    def __init__(self, config: QueueConfig = QueueConfig()) -> None:
+        self.config = config
+        self.reads: List[Transaction] = []
+        self.writes: List[Transaction] = []
+        self._draining = False
+
+    # -- admission -------------------------------------------------------
+
+    def has_room(self, is_read: bool) -> bool:
+        if is_read:
+            return len(self.reads) < self.config.read_depth
+        return len(self.writes) < self.config.write_depth
+
+    def enqueue(self, txn: Transaction, time: int) -> None:
+        if not self.has_room(txn.is_read):
+            raise ValueError("queue full; check has_room() first")
+        txn.arrival_time = time
+        (self.reads if txn.is_read else self.writes).append(txn)
+
+    # -- drain policy ------------------------------------------------------
+
+    def update_drain_mode(self) -> bool:
+        """Advance the watermark state machine; returns drain mode."""
+        cfg = self.config
+        if self._draining:
+            if len(self.writes) <= cfg.drain_low:
+                self._draining = False
+        elif len(self.writes) >= cfg.drain_high:
+            self._draining = True
+        return self._draining
+
+    def schedulable(self) -> List[Transaction]:
+        """The transactions the scheduler may consider right now.
+
+        Forced drain serves writes exclusively (reads wait so the data bus
+        does not thrash direction); otherwise reads are served, with
+        writes drained opportunistically only when no reads are pending.
+        """
+        if self.update_drain_mode():
+            return self.writes
+        if self.reads:
+            return self.reads
+        return self.writes
+
+    def remove(self, txn: Transaction) -> None:
+        queue = self.reads if txn.is_read else self.writes
+        queue.remove(txn)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def __len__(self) -> int:
+        return len(self.reads) + len(self.writes)
+
+    def pending(self) -> bool:
+        return bool(self.reads or self.writes)

@@ -1,0 +1,173 @@
+"""FR-FCFS command scheduling with the ERUCA operation flow (Fig. 5).
+
+For every schedulable transaction the scheduler derives the *next* DRAM
+command it needs -- a column command on a row hit, an ACT when its
+(sub-)bank is ready (including EWLR hits), or a precharge of whichever slot
+blocks it (its own row conflict, or a paired sub-bank's plane conflict) --
+together with the earliest legal issue time from the device model.
+
+Priority is first-ready, first-come-first-serve with column-over-row
+ordering: among the candidates that can issue soonest, row-buffer hits win,
+then older transactions.  A precharge that would close a row other, older
+transactions still hit on is suppressed (anti-thrashing guard), which also
+prevents inter-transaction livelock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.controller.queue import TransactionQueues
+from repro.controller.transaction import Transaction
+from repro.core.subbank import ActivationVerdict
+from repro.dram.bank import SlotKey
+from repro.dram.commands import CommandKind, PrechargeCause
+from repro.dram.device import Channel
+
+#: Priority classes, lower is better: row hits beat ACTs beat precharges;
+#: speculative (page-policy) closes come last.
+PRIO_COLUMN = 0
+PRIO_ACT = 1
+PRIO_PRE = 2
+PRIO_POLICY = 3
+
+
+@dataclass
+class Candidate:
+    """One issuable command proposal.
+
+    ``txn`` is the queued transaction the command serves; policy
+    precharges serve no transaction and carry ``txn = None``.
+    """
+
+    issue_time: int
+    priority: int
+    txn: Optional[Transaction]
+    kind: CommandKind
+    victim: Optional[Tuple[int, SlotKey]] = None
+    cause: Optional[PrechargeCause] = None
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        arrival = self.txn.arrival_time if self.txn is not None \
+            else 1 << 62
+        return (self.issue_time, self.priority, arrival)
+
+
+class Scheduler:
+    """Candidate generation and FR-FCFS selection for one channel.
+
+    ``idle_close_ps`` enables the adaptive open-page policy (Tab. III):
+    an open row with no pending requests is speculatively closed after
+    that much idle time, hiding the tRP of a future conflict.  ``None``
+    keeps rows open until a conflict forces a precharge.
+    """
+
+    def __init__(self, channel: Channel, queues: TransactionQueues,
+                 idle_close_ps: Optional[int] = None) -> None:
+        self.channel = channel
+        self.queues = queues
+        self.idle_close_ps = idle_close_ps
+
+    def _prepare(self, txn: Transaction) -> None:
+        """Fill the transaction's scheduler caches once."""
+        c = txn.coords
+        bank_index = self.channel.bank_index(c)
+        bank = self.channel.banks[bank_index]
+        txn.bank_index = bank_index
+        txn.slot = bank.slot_key(c.subbank, c.row)
+        if bank.row_layout is not None and bank.geometry.subbanks == 2:
+            txn.plane = bank.row_layout.plane_id(c.row, c.subbank,
+                                                 bank.rap)
+            txn.mwl = bank.row_layout.mwl_tag(c.row)
+
+    def _pending_hits(self, txns: List[Transaction]
+                      ) -> Dict[Tuple[int, SlotKey], int]:
+        """Oldest arrival per (bank, slot) whose open row still has hits."""
+        hits: Dict[Tuple[int, SlotKey], int] = {}
+        banks = self.channel.banks
+        for txn in txns:
+            if txn.bank_index < 0:
+                self._prepare(txn)
+            slot = banks[txn.bank_index].slots[txn.slot]
+            if slot.active_row == txn.coords.row:
+                loc = (txn.bank_index, txn.slot)
+                if loc not in hits or txn.arrival_time < hits[loc]:
+                    hits[loc] = txn.arrival_time
+        return hits
+
+    def _policy_closes(self, now: int,
+                       hits: Dict[Tuple[int, SlotKey], int]
+                       ) -> List[Candidate]:
+        """Adaptive open-page: close rows idle past the threshold."""
+        out: List[Candidate] = []
+        banks = self.channel.banks
+        for loc in self.channel.open_slots:
+            if loc in hits:
+                continue  # a pending request still wants this row
+            bank_index, key = loc
+            slot = banks[bank_index].slots[key]
+            due = slot.last_use + self.idle_close_ps
+            t = max(now, due,
+                    self.channel.earliest_precharge(bank_index, key))
+            out.append(Candidate(t, PRIO_POLICY, None, CommandKind.PRE,
+                                 victim=loc,
+                                 cause=PrechargeCause.POLICY))
+        return out
+
+    def candidates(self, now: int) -> List[Candidate]:
+        txns = self.queues.schedulable()
+        if not txns and self.idle_close_ps is None:
+            return []
+        hits = self._pending_hits(txns)
+        out: List[Candidate] = []
+        if self.idle_close_ps is not None:
+            out.extend(self._policy_closes(now, hits))
+        if not txns:
+            return out
+        seen_acts: set = set()
+        seen_pres: set = set()
+        banks = self.channel.banks
+        for txn in txns:
+            c = txn.coords
+            bank = banks[txn.bank_index]
+            verdict, victim_slot = bank.classify(
+                c.subbank, c.row, txn.plane, txn.mwl, txn.slot)
+            if verdict is ActivationVerdict.ROW_HIT:
+                t = self.channel.earliest_column(c, not txn.is_read)
+                out.append(Candidate(max(now, t), PRIO_COLUMN, txn,
+                                     CommandKind.WR if not txn.is_read
+                                     else CommandKind.RD))
+            elif verdict in (ActivationVerdict.ACT_OK,
+                             ActivationVerdict.EWLR_HIT):
+                slot = (txn.bank_index, txn.slot)
+                if slot in seen_acts:
+                    continue  # one ACT proposal per target slot
+                seen_acts.add(slot)
+                t = self.channel.earliest_act(c)
+                out.append(Candidate(max(now, t), PRIO_ACT, txn,
+                                     CommandKind.ACT))
+            else:
+                bank_index = txn.bank_index
+                loc = (bank_index, victim_slot)
+                # Anti-thrashing: do not close a row that an older (or
+                # equally old) transaction still hits on.
+                if loc in hits and hits[loc] <= txn.arrival_time:
+                    continue
+                if loc in seen_pres:
+                    continue
+                seen_pres.add(loc)
+                cause = (PrechargeCause.PLANE_CONFLICT
+                         if verdict is ActivationVerdict.PLANE_CONFLICT
+                         else PrechargeCause.ROW_CONFLICT)
+                t = self.channel.earliest_precharge(bank_index, victim_slot)
+                out.append(Candidate(max(now, t), PRIO_PRE, txn,
+                                     CommandKind.PRE, victim=loc,
+                                     cause=cause))
+        return out
+
+    def best(self, now: int) -> Optional[Candidate]:
+        cands = self.candidates(now)
+        if not cands:
+            return None
+        return min(cands, key=Candidate.sort_key)

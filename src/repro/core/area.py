@@ -1,0 +1,162 @@
+"""DRAM die-area overhead model (paper Section VI-C, Fig. 11).
+
+The model composes the paper's published component figures for an 8 Gb x4
+DDR4 die in 32 nm (die size from CACTI-3DD, logic blocks from Synopsys
+SAED-32 synthesis):
+
+* die: 8.98 mm x 13.47 mm = 120.992 mm^2;
+* row-address latch sets: 203 um^2 for a 40-bit set (plain VSB), 244 um^2
+  for a 48-bit set (with the doubled LWL_SEL bits of EWLR); one set per
+  plane per bank, the per-set bit count shrinking slightly as planes get
+  smaller (3:8 pre-decoding);
+* latch-select wires: 1 um pitch, one wire per plane-doubling, replicated
+  across the 8 row decoders of the die, running the die's bitline
+  direction (an effective routed length calibrated to the published 0.06%
+  per-doubling total); EWLR adds two sub-bank select wires;
+* DDB: 64 pass-transistor switches + control = 191 um^2 per sub-bank,
+  674 um^2 of MUX/DEMUX, and four bus-select wires that grow the die by
+  4 um -- 0.05% total, ~85% of it wires.
+
+Prior-work overheads quoted for Fig. 11/Fig. 15 comparisons (Half-DRAM,
+MASA) are the numbers the paper cites from [4], [14], [2]; the
+paired-bank *saving* (-1.1%) comes from removing half the row decoders at
+an assumed 25% decoder-width reduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.mechanisms import EruConfig
+
+#: CACTI-3DD die estimate for 8 Gb x4 DDR4 in 32 nm.
+DIE_WIDTH_MM = 8.98
+DIE_HEIGHT_MM = 13.47
+DIE_AREA_MM2 = 120.992
+
+BANKS_PER_CHIP = 16
+ROW_DECODERS_PER_CHIP = 8
+SUBBANKS_PER_CHIP = 2 * BANKS_PER_CHIP
+
+#: Synthesised latch-set areas (um^2) at the 2-plane baseline widths.
+LATCH_SET_40B_UM2 = 203.0
+LATCH_SET_48B_UM2 = 244.0
+LATCH_BITS_PLAIN = 40
+LATCH_BITS_EWLR = 48
+
+#: Latch-select wiring: 1 um pitch, 8 decoders; the effective routed
+#: length is calibrated so one plane-doubling costs the published 0.06%
+#: of the die.
+LATCH_WIRE_PITCH_UM = 1.0
+LATCH_WIRE_EFFECTIVE_MM = 8.2
+
+#: EWLR wiring: one LWL_SEL-latch select wire per row decoder plus the
+#: two chip-global left/right sub-bank selection signals -- together the
+#: published "+0.06%" EWLR increment.
+EWLR_GLOBAL_WIRES = 2
+
+#: DDB components.
+DDB_SWITCHES_UM2_PER_SUBBANK = 191.0
+DDB_MUX_DEMUX_UM2 = 674.0
+DDB_BUS_WIRES = 4
+DDB_WIRE_GROWTH_UM = 1.0  # per wire, across the die height
+
+#: Prior-work overheads the paper quotes (percent of die area).
+HALF_DRAM_OVERHEAD_PCT = 1.46
+MASA_OVERHEAD_PCT = {4: 3.03, 8: 4.76}
+#: Paired-bank removes half the row decoders (25% decoder-width saving).
+PAIRED_BANK_SAVING_PCT = -1.1
+
+
+def _pct(area_um2: float) -> float:
+    """um^2 -> percent of the die."""
+    return area_um2 / (DIE_AREA_MM2 * 1e6) * 100.0
+
+
+def latch_bits(planes: int, ewlr: bool) -> int:
+    """Bits per latch set: slightly fewer as planes shrink the row range."""
+    base = LATCH_BITS_EWLR if ewlr else LATCH_BITS_PLAIN
+    doublings = max(0, int(math.log2(planes)) - 1)
+    return base - doublings
+
+
+def latch_set_area_um2(planes: int, ewlr: bool) -> float:
+    per_bit = (LATCH_SET_48B_UM2 / LATCH_BITS_EWLR if ewlr
+               else LATCH_SET_40B_UM2 / LATCH_BITS_PLAIN)
+    return per_bit * latch_bits(planes, ewlr)
+
+
+def vsb_latch_overhead_pct(planes: int, ewlr: bool) -> float:
+    """Latch sets: one per plane per bank across the chip."""
+    sets = BANKS_PER_CHIP * planes
+    return _pct(sets * latch_set_area_um2(planes, ewlr))
+
+
+def latch_select_wire_overhead_pct(planes: int, ewlr: bool) -> float:
+    """Plane-select wiring across the 8 row decoders.
+
+    One wire per plane-doubling per decoder, 1 um pitch, running an
+    effective ``LATCH_WIRE_EFFECTIVE_MM`` of bitline-direction routing;
+    EWLR adds the two LWL_SEL-latch select wires.
+    """
+    doublings = int(math.log2(planes)) if planes > 1 else 0
+    wires = doublings * ROW_DECODERS_PER_CHIP
+    if ewlr:
+        wires += ROW_DECODERS_PER_CHIP + EWLR_GLOBAL_WIRES
+    return _pct(wires * LATCH_WIRE_PITCH_UM * LATCH_WIRE_EFFECTIVE_MM
+                * 1e3)
+
+
+def ddb_overhead_pct() -> float:
+    """Dual data bus: switches + MUX/DEMUX + four bus-select wires."""
+    switches = DDB_SWITCHES_UM2_PER_SUBBANK * SUBBANKS_PER_CHIP
+    mux = DDB_MUX_DEMUX_UM2
+    wires = (DDB_BUS_WIRES * DDB_WIRE_GROWTH_UM
+             * DIE_HEIGHT_MM * 1e3)
+    return _pct(switches + mux + wires)
+
+
+def eruca_overhead_pct(config: EruConfig) -> float:
+    """Total die overhead of a VSB-based ERUCA configuration (Fig. 11)."""
+    total = vsb_latch_overhead_pct(config.planes, config.ewlr)
+    total += latch_select_wire_overhead_pct(config.planes, config.ewlr)
+    if config.ddb:
+        total += ddb_overhead_pct()
+    return total
+
+
+def paired_bank_overhead_pct(config: EruConfig) -> float:
+    """Paired-bank ERUCA: same mechanisms, minus half the row decoders."""
+    return eruca_overhead_pct(config) + PAIRED_BANK_SAVING_PCT
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """One row of the Fig. 11 comparison."""
+
+    scheme: str
+    planes: int
+    overhead_pct: float
+
+
+def fig11_table(plane_counts=(2, 4, 8, 16)) -> list:
+    """All four ERUCA series of Fig. 11 plus the prior-work points."""
+    rows = []
+    series = (
+        ("RAP", dict(ewlr=False, ddb=False)),
+        ("EWLR+RAP", dict(ewlr=True, ddb=False)),
+        ("DDB+RAP", dict(ewlr=False, ddb=True)),
+        ("DDB+EWLR+RAP", dict(ewlr=True, ddb=True)),
+    )
+    for label, kw in series:
+        for planes in plane_counts:
+            cfg = EruConfig(planes=planes, rap=True, **kw)
+            rows.append(AreaReport(label, planes, eruca_overhead_pct(cfg)))
+    rows.append(AreaReport("Half-DRAM", 1, HALF_DRAM_OVERHEAD_PCT))
+    for groups, pct in MASA_OVERHEAD_PCT.items():
+        rows.append(AreaReport(f"MASA{groups}", groups, pct))
+    rows.append(AreaReport(
+        "Paired-bank(DDB+EWLR+RAP)", 4,
+        paired_bank_overhead_pct(EruConfig.full(4))))
+    return rows

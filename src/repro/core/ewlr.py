@@ -1,0 +1,64 @@
+"""EWLR: effective wordline range (paper Section IV).
+
+EWLR duplicates only the LWL_SEL row-address latch bits per sub-bank, so
+both sub-banks can hold different rows in the *same* plane as long as the
+rows share their main-wordline (MWL) address -- i.e. they differ only in
+the local-wordline-select field.  An *EWLR hit*:
+
+* removes the plane conflict (no inter-sub-bank row-buffer thrashing);
+* skips re-driving the already-raised MWL, saving 18% of the Vpp
+  charge-pump energy of the activation;
+* enables the *partial precharge* command, which closes one sub-bank
+  without dropping the shared MWL.
+
+This module provides the standalone address predicates; the timing
+simulator applies them through
+:meth:`repro.controller.mapping.RowLayout.mwl_tag`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.controller.mapping import RowLayout
+
+#: DDR4 has 8 local wordlines per main wordline (3 LWL_SEL bits).
+DEFAULT_EWLR_BITS = 3
+
+#: Fraction of an activation's Vpp energy an EWLR hit saves (Section IV,
+#: from the Rambus power model for a 55 nm 2 Gb DDR3 device).
+VPP_SAVING_FRACTION = 0.18
+
+
+@dataclass(frozen=True)
+class EwlrRange:
+    """The EWLR an open row belongs to: its plane and MWL tag."""
+
+    plane: int
+    mwl_tag: int
+
+
+def ewlr_range(layout: RowLayout, row: int, subbank: int,
+               rap: bool) -> EwlrRange:
+    return EwlrRange(plane=layout.plane_id(row, subbank, rap),
+                     mwl_tag=layout.mwl_tag(row))
+
+
+def is_ewlr_hit(layout: RowLayout, open_row: int, open_subbank: int,
+                target_row: int, target_subbank: int,
+                rap: bool = False) -> bool:
+    """Would activating ``target_row`` hit the open row's EWLR?
+
+    True when both rows select the same plane latch set and share their
+    MWL tag, so the target activation reuses the raised main wordline.
+    """
+    if open_subbank == target_subbank:
+        return False  # EWLR is an *inter*-sub-bank mechanism
+    a = ewlr_range(layout, open_row, open_subbank, rap)
+    b = ewlr_range(layout, target_row, target_subbank, rap)
+    return a == b
+
+
+def rows_per_ewlr(layout: RowLayout) -> int:
+    """How many rows one EWLR covers (the LWL_SEL fan-out)."""
+    return 1 << layout.ewlr_bits

@@ -1,0 +1,153 @@
+"""One DRAM channel: banks plus shared resources, with legality queries.
+
+The :class:`Channel` is the device-side API the memory controller talks to.
+For every prospective command it answers "what is the earliest time this
+command may legally issue?", and applies the state change once the
+controller commits to an issue time.  All organisation differences (bank
+groups vs. ideal vs. DDB, full banks vs. sub-banks vs. MASA groups) live in
+the :class:`~repro.dram.bank.Bank` geometry and the
+:class:`~repro.dram.resources.BusPolicy` -- the controller code is
+organisation-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.controller.mapping import RowLayout
+from repro.controller.transaction import DramCoordinates
+from repro.core.subbank import ActivationVerdict
+from repro.dram.bank import Bank, BankGeometry, SlotKey
+from repro.dram.commands import PrechargeCause
+from repro.dram.power import EnergyMeter, EnergyParams
+from repro.dram.resources import BusPolicy, ChannelResources
+from repro.dram.timing import TimingParams
+
+
+class Channel:
+    """A single DRAM channel (one rank) of some organisation."""
+
+    def __init__(self, timing: TimingParams, policy: BusPolicy,
+                 bank_groups: int, banks_per_group: int,
+                 bank_geometry: BankGeometry,
+                 row_layout: Optional[RowLayout] = None,
+                 ewlr: bool = False, rap: bool = False,
+                 energy_params: Optional[EnergyParams] = None,
+                 record_commands: bool = False) -> None:
+        self.timing = timing
+        self.policy = policy
+        self.bank_groups = bank_groups
+        self.banks_per_group = banks_per_group
+        n_banks = bank_groups * banks_per_group
+        self.banks: List[Bank] = [
+            Bank(bank_geometry, timing, row_layout, ewlr, rap)
+            for _ in range(n_banks)
+        ]
+        self.resources = ChannelResources(
+            timing, policy, bank_groups, n_banks)
+        self.energy = EnergyMeter(energy_params or EnergyParams())
+        #: Precharge counts by cause, for Fig. 13b.
+        self.precharge_causes = {cause: 0 for cause in PrechargeCause}
+        #: Registry of open row slots, (bank index, slot key), kept in
+        #: sync by issue_act/issue_precharge for the page policy's scan.
+        self.open_slots: set = set()
+        #: Optional command log for post-hoc validation
+        #: (:mod:`repro.dram.validation`).
+        self.command_log: Optional[list] = [] if record_commands else None
+
+    # -- addressing ------------------------------------------------------
+
+    def bank_index(self, coords: DramCoordinates) -> int:
+        return coords.bank_group * self.banks_per_group + coords.bank
+
+    def bank(self, coords: DramCoordinates) -> Bank:
+        return self.banks[self.bank_index(coords)]
+
+    # -- classification ---------------------------------------------------
+
+    def classify(self, coords: DramCoordinates
+                 ) -> Tuple[ActivationVerdict, Optional[SlotKey]]:
+        return self.bank(coords).classify(coords.subbank, coords.row)
+
+    # -- earliest legal issue times ---------------------------------------
+
+    def earliest_act(self, coords: DramCoordinates) -> int:
+        bank = self.bank(coords)
+        return max(self.resources.earliest_act(),
+                   bank.earliest_act(coords.subbank, coords.row))
+
+    def earliest_column(self, coords: DramCoordinates,
+                        is_write: bool) -> int:
+        bank = self.bank(coords)
+        return max(
+            self.resources.earliest_column(
+                is_write, coords.bank_group, self.bank_index(coords)),
+            bank.earliest_column(coords.subbank, coords.row),
+        )
+
+    def earliest_precharge(self, bank_index: int, slot: SlotKey) -> int:
+        return max(self.resources.earliest_precharge(),
+                   self.banks[bank_index].earliest_precharge(slot))
+
+    # -- committed issues --------------------------------------------------
+
+    def issue_act(self, coords: DramCoordinates, time: int) -> bool:
+        """Issue an ACT; returns whether it was an EWLR hit."""
+        bank = self.bank(coords)
+        verdict, _ = bank.classify(coords.subbank, coords.row)
+        ewlr_hit = verdict is ActivationVerdict.EWLR_HIT
+        bank.do_activate(coords.subbank, coords.row, time)
+        self.resources.record_act(time)
+        self.energy.record_act(ewlr_hit=ewlr_hit)
+        bank_index = self.bank_index(coords)
+        slot = bank.slot_key(coords.subbank, coords.row)
+        self.open_slots.add((bank_index, slot))
+        if self.command_log is not None:
+            from repro.dram.validation import CommandRecord
+            self.command_log.append(CommandRecord(
+                "ACT", time, bank_index, coords.bank_group, slot,
+                coords.row))
+        return ewlr_hit
+
+    def issue_column(self, coords: DramCoordinates, time: int,
+                     is_write: bool) -> int:
+        """Issue a RD/WR; returns the data-burst completion time."""
+        bank = self.bank(coords)
+        bank.do_column(coords.subbank, coords.row, time, is_write)
+        bank_index = self.bank_index(coords)
+        data_end = self.resources.record_column(
+            time, is_write, coords.bank_group, bank_index)
+        if is_write:
+            self.energy.record_write()
+        else:
+            self.energy.record_read()
+        if self.command_log is not None:
+            from repro.dram.validation import CommandRecord
+            self.command_log.append(CommandRecord(
+                "WR" if is_write else "RD", time, bank_index,
+                coords.bank_group, bank.slot_key(coords.subbank,
+                                                 coords.row)))
+        return data_end
+
+    def issue_precharge(self, bank_index: int, slot: SlotKey, time: int,
+                        cause: PrechargeCause) -> bool:
+        """Issue a PRE; returns whether it was a partial precharge."""
+        bank = self.banks[bank_index]
+        partial = bank.partial_precharge_possible(slot)
+        bank.do_precharge(slot, time)
+        self.resources.record_precharge(time)
+        self.energy.record_precharge(partial=partial)
+        self.precharge_causes[cause] += 1
+        self.open_slots.discard((bank_index, slot))
+        if self.command_log is not None:
+            from repro.dram.validation import CommandRecord
+            self.command_log.append(CommandRecord(
+                "PRE", time, bank_index,
+                bank_index // self.banks_per_group, slot))
+        return partial
+
+    # -- introspection -----------------------------------------------------
+
+    def open_row(self, coords: DramCoordinates) -> Optional[int]:
+        bank = self.bank(coords)
+        return bank.slot(coords.subbank, coords.row).active_row

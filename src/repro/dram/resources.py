@@ -1,0 +1,152 @@
+"""Channel-level shared resources: command bus, data bus, CAS trackers.
+
+Three bus policies cover every organisation in the paper's evaluation
+(Tab. III, "DRAM timing parameters"):
+
+``BANK_GROUPS``
+    Standard DDR4: ``tCCD_L`` / ``tWTR_L`` between accesses to the same
+    bank group, the short variants across groups.
+
+``NO_GROUPS``
+    The idealised organisation ("Ideal" column): the short variants apply
+    everywhere -- enough internal bus bandwidth to never conflict.
+
+``DDB``
+    ERUCA's dual data bus: the long variants shrink to per-*bank* scope
+    (each sub-bank has a dedicated data path, the pair of chip-global
+    buses serves the group), but at most two column commands may occupy
+    the dual buses per DRAM core clock -- the ``tTCW`` window -- and a
+    read after two back-to-back writes must wait ``tTWTRW`` (Fig. 10).
+    Both windows only bind when the core clock is slower than two channel
+    bursts, i.e. at high channel frequencies (Fig. 14).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.dram.bank import NEVER
+from repro.dram.timing import TimingParams
+
+
+class BusPolicy(enum.Enum):
+    BANK_GROUPS = "bank_groups"
+    NO_GROUPS = "no_groups"
+    DDB = "ddb"
+
+
+#: Idle bubble inserted on the data bus when it changes direction.
+TURNAROUND_CLOCKS = 2
+
+
+class ChannelResources:
+    """Timing trackers shared by all banks of one channel."""
+
+    def __init__(self, timing: TimingParams, policy: BusPolicy,
+                 bank_groups: int, banks: int) -> None:
+        self.timing = timing
+        self.policy = policy
+        self.bank_groups = bank_groups
+        self.banks = banks
+        self.cmd_bus_free = 0
+        # CAS-to-CAS separation trackers.
+        self._last_cas_any = NEVER
+        self._last_cas_bg: List[int] = [NEVER] * bank_groups
+        self._last_cas_bank: List[int] = [NEVER] * banks
+        # Data-bus occupancy and direction.
+        self._last_data_end = NEVER
+        self._last_data_write: Optional[bool] = None
+        # Write-to-read turnaround trackers (write data end times).
+        self._wr_end_any = NEVER
+        self._wr_end_bg: List[int] = [NEVER] * bank_groups
+        self._wr_end_bank: List[int] = [NEVER] * banks
+        # tTCW: the two most recent column commands per bank group.
+        self._cas_window: List[List[int]] = [
+            [NEVER, NEVER] for _ in range(bank_groups)]
+        # tTWTRW: the two most recent write commands per bank group.
+        self._wr_window: List[List[int]] = [
+            [NEVER, NEVER] for _ in range(bank_groups)]
+        # ACT-to-ACT (tRRD) tracker, rank-wide.
+        self._last_act = NEVER
+        ddb = policy is BusPolicy.DDB
+        self._windows_active = (ddb and timing.tTCW > 0
+                                and timing.ddb_windows_needed())
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def windows_active(self) -> bool:
+        """Whether the DDB two-command windows bind at this frequency."""
+        return self._windows_active
+
+    def earliest_act(self) -> int:
+        return max(self.cmd_bus_free, self._last_act + self.timing.tRRD)
+
+    def earliest_precharge(self) -> int:
+        return self.cmd_bus_free
+
+    def earliest_column(self, is_write: bool, bank_group: int,
+                        bank: int) -> int:
+        """Earliest legal issue time for a column command to (bg, bank)."""
+        t = self.timing
+        candidates = [self.cmd_bus_free,
+                      self._last_cas_any + t.tCCD_S]
+        if self.policy is BusPolicy.BANK_GROUPS:
+            candidates.append(self._last_cas_bg[bank_group] + t.tCCD_L)
+        elif self.policy is BusPolicy.DDB:
+            candidates.append(self._last_cas_bank[bank] + t.tCCD_L)
+            if self._windows_active:
+                candidates.append(self._cas_window[bank_group][0] + t.tTCW)
+        # Write-to-read turnaround (command-level).
+        if not is_write:
+            candidates.append(self._wr_end_any + t.tWTR_S)
+            if self.policy is BusPolicy.BANK_GROUPS:
+                candidates.append(self._wr_end_bg[bank_group] + t.tWTR_L)
+            elif self.policy is BusPolicy.DDB:
+                candidates.append(self._wr_end_bank[bank] + t.tWTR_L)
+                if self._windows_active:
+                    candidates.append(
+                        self._wr_window[bank_group][0] + t.tTWTRW)
+        # External data-bus occupancy: the new burst must start after the
+        # previous one ends, plus a turnaround bubble on direction change.
+        latency = t.tCWL if is_write else t.tCL
+        gap = 0
+        if (self._last_data_write is not None
+                and self._last_data_write != is_write):
+            gap = TURNAROUND_CLOCKS * t.tCK
+        candidates.append(self._last_data_end + gap - latency)
+        return max(candidates)
+
+    # -- recorders -------------------------------------------------------
+
+    def record_act(self, time: int) -> None:
+        self._last_act = time
+        self.cmd_bus_free = max(self.cmd_bus_free, time + self.timing.tCK)
+
+    def record_precharge(self, time: int) -> None:
+        self.cmd_bus_free = max(self.cmd_bus_free, time + self.timing.tCK)
+
+    def record_column(self, time: int, is_write: bool, bank_group: int,
+                      bank: int) -> int:
+        """Record a column command; returns the data-burst end time."""
+        t = self.timing
+        latency = t.tCWL if is_write else t.tCL
+        data_end = time + latency + t.burst_time
+        self._last_cas_any = max(self._last_cas_any, time)
+        self._last_cas_bg[bank_group] = max(
+            self._last_cas_bg[bank_group], time)
+        self._last_cas_bank[bank] = max(self._last_cas_bank[bank], time)
+        self._last_data_end = max(self._last_data_end, data_end)
+        self._last_data_write = is_write
+        window = self._cas_window[bank_group]
+        window[0], window[1] = window[1], time
+        if is_write:
+            self._wr_end_any = max(self._wr_end_any, data_end)
+            self._wr_end_bg[bank_group] = max(
+                self._wr_end_bg[bank_group], data_end)
+            self._wr_end_bank[bank] = max(self._wr_end_bank[bank], data_end)
+            wr_window = self._wr_window[bank_group]
+            wr_window[0], wr_window[1] = wr_window[1], time
+        self.cmd_bus_free = max(self.cmd_bus_free, time + t.tCK)
+        return data_end

@@ -1,0 +1,187 @@
+"""DRAM timing parameters and speed-grade presets.
+
+All times are integer picoseconds.  Using an integer time base keeps command
+legality checks exact: there is never a float rounding question about whether
+two commands are ``tCCD_L`` apart.
+
+The defaults follow the paper's evaluation setup (Tab. III): DDR4 at a
+1.33 GHz bus clock with 18-18-18 timings, a fixed 200 MHz DRAM core clock,
+burst length 8, and the two new ERUCA bus-window parameters ``tTCW`` and
+``tTWTRW`` derived from the DRAM core clock and write latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+PS_PER_NS = 1000
+
+#: Fixed DRAM core (internal array) clock, per the paper: "Current DRAMs
+#: operate with a core frequency of 200MHz" -- a 5 ns core cycle.
+DRAM_CORE_CLOCK_HZ = 200_000_000
+DRAM_CORE_PERIOD_PS = 5_000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds (round to nearest)."""
+    return int(round(value * PS_PER_NS))
+
+
+def clock_period_ps(frequency_hz: float) -> int:
+    """Period of a clock in integer picoseconds."""
+    return int(round(1e12 / frequency_hz))
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """A complete set of DRAM timing constraints (picoseconds).
+
+    The short/long (``_S``/``_L``) pairs implement bank grouping: the long
+    variant applies between accesses to the same bank group, the short one
+    across groups.  Idealised organisations (no bank groups) simply use the
+    short value everywhere; DDB relaxes the long value to the short one
+    between *different banks* of the same group, guarded by ``tTCW`` /
+    ``tTWTRW`` (see :mod:`repro.dram.resources`).
+    """
+
+    #: Bus (channel) clock period.  Commands occupy one bus clock; the data
+    #: bus moves two beats per clock (DDR).
+    tCK: int
+    #: ACT to internal read/write (RAS-to-CAS delay), per (sub-)bank.
+    tRCD: int
+    #: PRE to ACT of the same (sub-)bank.
+    tRP: int
+    #: ACT to PRE of the same (sub-)bank (minimum row-open time).
+    tRAS: int
+    #: ACT to ACT of the same (sub-)bank (row cycle); tRC >= tRAS + tRP.
+    tRC: int
+    #: Read CAS latency (column command to first data beat).
+    tCL: int
+    #: Write CAS latency.
+    tCWL: int
+    #: CAS to CAS, different bank group (or no-bank-group organisations).
+    tCCD_S: int
+    #: CAS to CAS, same bank group (paper: one DRAM core clock, 5 ns).
+    tCCD_L: int
+    #: Write burst end to read command, different bank group.
+    tWTR_S: int
+    #: Write burst end to read command, same bank group.
+    tWTR_L: int
+    #: ACT to ACT, different banks, same rank.
+    tRRD: int
+    #: Write recovery: end of write burst to PRE of the same bank.
+    tWR: int
+    #: Read to PRE of the same bank.
+    tRTP: int
+    #: Burst length in beats (column transfer moves BL beats at DDR rate).
+    burst_length: int = 8
+    #: ERUCA two-column-command window (per bank group, DDB only): at most
+    #: two column commands may issue within this window.  Zero disables it.
+    tTCW: int = 0
+    #: ERUCA two-write-to-read window (per bank group, DDB only): a read may
+    #: not follow the first of two back-to-back writes sooner than this.
+    #: Zero disables it.
+    tTWTRW: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tCK <= 0:
+            raise ValueError(f"tCK must be positive, got {self.tCK}")
+        if self.tRC < self.tRAS + self.tRP:
+            raise ValueError(
+                f"tRC ({self.tRC}) must cover tRAS + tRP "
+                f"({self.tRAS} + {self.tRP})"
+            )
+        if self.tCCD_L < self.tCCD_S:
+            raise ValueError("tCCD_L must be >= tCCD_S")
+        if self.tWTR_L < self.tWTR_S:
+            raise ValueError("tWTR_L must be >= tWTR_S")
+        if self.burst_length <= 0 or self.burst_length % 2:
+            raise ValueError("burst_length must be a positive even beat count")
+
+    @property
+    def burst_time(self) -> int:
+        """Data-bus occupancy of one column command (BL beats at DDR rate)."""
+        return (self.burst_length // 2) * self.tCK
+
+    @property
+    def bus_frequency_hz(self) -> float:
+        return 1e12 / self.tCK
+
+    def replace(self, **changes: int) -> "TimingParams":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def with_ddb_windows(self) -> "TimingParams":
+        """Enable the DDB two-command windows.
+
+        ``tTCW`` is one DRAM core clock (5 ns): the dual buses together
+        carry at most two in-flight column transfers per core cycle.
+        ``tTWTRW`` = WL + 4 CLKs + tWTR_L, per Fig. 10c.
+        """
+        return self.replace(
+            tTCW=DRAM_CORE_PERIOD_PS,
+            tTWTRW=self.tCWL + 4 * self.tCK + self.tWTR_L,
+        )
+
+    def ddb_windows_needed(self) -> bool:
+        """Whether DDB needs its windows at this bus frequency.
+
+        Per the paper, the two-command window applies only when the DRAM
+        core clock cycle is longer than twice the external burst time --
+        i.e. when the channel can outrun the pair of internal buses.
+        """
+        return DRAM_CORE_PERIOD_PS > 2 * self.burst_time
+
+
+def ddr4_timings(bus_frequency_hz: float = 1.333e9,
+                 cas_cycles: int = 18) -> TimingParams:
+    """DDR4 timing preset at a given bus clock.
+
+    The paper evaluates DDR4 at 1.33 GHz (18-18-18) and scales the channel
+    to 1.6/2.0/2.4 GHz for Fig. 14 while the DRAM core stays at 200 MHz.
+    Core-side (analog) latencies are kept constant in nanoseconds; bus-side
+    quantities (tCCD_S, burst) are kept constant in clocks.
+    """
+    tck = clock_period_ps(bus_frequency_hz)
+    cas = cas_cycles * clock_period_ps(1.333e9)  # constant ns across grades
+    return TimingParams(
+        tCK=tck,
+        tRCD=cas,
+        tRP=cas,
+        tRAS=ns(32),
+        tRC=ns(32) + cas,
+        tCL=cas,
+        tCWL=cas - 4 * tck if cas - 4 * tck > 0 else cas,
+        tCCD_S=4 * tck,
+        tCCD_L=DRAM_CORE_PERIOD_PS,
+        tWTR_S=ns(2.5),
+        tWTR_L=ns(7.5),
+        tRRD=4 * tck,
+        tWR=ns(15),
+        tRTP=ns(7.5),
+        burst_length=8,
+    )
+
+
+#: Tab. I of the paper: specifications of DRAM generations.
+@dataclass(frozen=True)
+class GenerationSpec:
+    """One column of the paper's Tab. I."""
+
+    name: str
+    bank_count: str
+    channel_clock_mhz: str
+    core_clock_mhz: str
+    internal_prefetch: str
+
+
+GENERATIONS = (
+    GenerationSpec("DDR", "4", "133-200", "133-200", "2n"),
+    GenerationSpec("DDR2", "4-8", "266-400", "133-200", "4n"),
+    GenerationSpec("DDR3", "8", "533-800", "133-200", "8n"),
+    GenerationSpec("DDR4", "16", "1066-1600", "133-200", "8n"),
+)
+
+#: Channel frequencies swept in Fig. 14 (Hz).
+FIG14_BUS_FREQUENCIES_HZ = (1.333e9, 1.6e9, 2.0e9, 2.4e9)

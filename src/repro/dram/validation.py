@@ -1,0 +1,172 @@
+"""Independent post-hoc validation of issued command schedules.
+
+The event-driven controller computes earliest-issue times incrementally;
+this module re-checks a finished run's *complete command log* against the
+timing rules written down directly from their definitions -- a second,
+independent implementation.  Any bug in the scheduler's bookkeeping
+(stale caches, missed constraints, window mix-ups) surfaces here as a
+:class:`TimingViolation`.
+
+Enable logging with ``SystemConfig(record_commands=True)`` (or
+``Channel(..., record_commands=True)``) and call :func:`validate_log`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.bank import NEVER, SlotKey
+from repro.dram.resources import TURNAROUND_CLOCKS, BusPolicy
+from repro.dram.timing import TimingParams
+
+
+class TimingViolation(AssertionError):
+    """A command in the log breaks a DRAM timing rule."""
+
+
+@dataclass(frozen=True)
+class CommandRecord:
+    """One issued command, as logged by the Channel."""
+
+    kind: str            # "ACT" | "RD" | "WR" | "PRE"
+    time: int
+    bank: int            # flattened bank index
+    bank_group: int
+    slot: SlotKey
+    row: int = -1
+
+
+@dataclass
+class _SlotState:
+    act_time: int = NEVER
+    pre_time: int = NEVER
+    open_row: int = -1
+    last_rd: int = NEVER
+    last_wr_end: int = NEVER
+
+
+def _fail(record: CommandRecord, rule: str, bound: int) -> None:
+    raise TimingViolation(
+        f"{record.kind} at {record.time} to bank {record.bank} "
+        f"slot {record.slot} violates {rule} (earliest legal {bound})")
+
+
+def validate_log(log: List[CommandRecord], timing: TimingParams,
+                 policy: BusPolicy) -> int:
+    """Check every command against the full rule set; returns the count.
+
+    Rules checked (straight from the JEDEC-style definitions):
+
+    * ACT: tRC from the slot's previous ACT, tRP from its precharge,
+      tRRD from any ACT on the rank, and the slot must be closed.
+    * RD/WR: tRCD from the slot's ACT, row must be open; CAS-to-CAS
+      tCCD_S globally plus tCCD_L within the policy's long scope (bank
+      group, or bank under DDB); DDB's tTCW (at most two column commands
+      per group per window) and tTWTRW (read after two writes); write-
+      to-read turnaround (tWTR_S/_L); non-overlapping data bursts with a
+      turnaround bubble on direction change.
+    * PRE: tRAS from ACT, tRTP from the last read, tWR after the last
+      write burst, and the slot must be open.
+    """
+    slots: Dict[Tuple[int, SlotKey], _SlotState] = defaultdict(_SlotState)
+    last_act_rank = NEVER
+    last_cas_any = NEVER
+    last_cas_long: Dict[int, int] = defaultdict(lambda: NEVER)
+    cas_times_by_group: Dict[int, List[int]] = defaultdict(list)
+    wr_times_by_group: Dict[int, List[int]] = defaultdict(list)
+    wr_end_any = NEVER
+    wr_end_long: Dict[int, int] = defaultdict(lambda: NEVER)
+    last_data_end = NEVER
+    last_data_write: Optional[bool] = None
+
+    windows_active = (policy is BusPolicy.DDB and timing.tTCW > 0
+                      and timing.ddb_windows_needed())
+
+    for i, rec in enumerate(sorted(log, key=lambda r: r.time)):
+        key = (rec.bank, rec.slot)
+        state = slots[key]
+        if rec.kind == "ACT":
+            if state.open_row >= 0:
+                _fail(rec, "ACT to an open slot", -1)
+            if rec.time < state.act_time + timing.tRC:
+                _fail(rec, "tRC", state.act_time + timing.tRC)
+            if rec.time < state.pre_time + timing.tRP:
+                _fail(rec, "tRP", state.pre_time + timing.tRP)
+            if rec.time < last_act_rank + timing.tRRD:
+                _fail(rec, "tRRD", last_act_rank + timing.tRRD)
+            state.act_time = rec.time
+            state.open_row = rec.row
+            last_act_rank = max(last_act_rank, rec.time)
+        elif rec.kind in ("RD", "WR"):
+            is_write = rec.kind == "WR"
+            if state.open_row < 0:
+                _fail(rec, "column to closed slot", -1)
+            if rec.time < state.act_time + timing.tRCD:
+                _fail(rec, "tRCD", state.act_time + timing.tRCD)
+            if rec.time < last_cas_any + timing.tCCD_S:
+                _fail(rec, "tCCD_S", last_cas_any + timing.tCCD_S)
+            long_scope = (rec.bank if policy is BusPolicy.DDB
+                          else rec.bank_group)
+            if policy is not BusPolicy.NO_GROUPS:
+                if rec.time < last_cas_long[long_scope] + timing.tCCD_L:
+                    _fail(rec, "tCCD_L",
+                          last_cas_long[long_scope] + timing.tCCD_L)
+            if windows_active:
+                recent = [t for t in cas_times_by_group[rec.bank_group]
+                          if rec.time - t < timing.tTCW]
+                if len(recent) >= 2:
+                    _fail(rec, "tTCW (third CAS in window)",
+                          min(recent) + timing.tTCW)
+            if not is_write:
+                if rec.time < wr_end_any + timing.tWTR_S:
+                    _fail(rec, "tWTR_S", wr_end_any + timing.tWTR_S)
+                if policy is not BusPolicy.NO_GROUPS:
+                    if rec.time < (wr_end_long[long_scope]
+                                   + timing.tWTR_L):
+                        _fail(rec, "tWTR_L",
+                              wr_end_long[long_scope] + timing.tWTR_L)
+                if windows_active:
+                    writes = [t for t in wr_times_by_group[rec.bank_group]
+                              if rec.time - t < timing.tTWTRW]
+                    if len(writes) >= 2:
+                        _fail(rec, "tTWTRW",
+                              min(writes) + timing.tTWTRW)
+            # Data bus occupancy.
+            latency = timing.tCWL if is_write else timing.tCL
+            start = rec.time + latency
+            end = start + timing.burst_time
+            gap = 0
+            if (last_data_write is not None
+                    and last_data_write != is_write):
+                gap = TURNAROUND_CLOCKS * timing.tCK
+            if start < last_data_end + gap:
+                _fail(rec, "data-bus overlap", last_data_end + gap)
+            last_data_end = end
+            last_data_write = is_write
+            last_cas_any = rec.time
+            last_cas_long[long_scope] = rec.time
+            cas_times_by_group[rec.bank_group].append(rec.time)
+            if is_write:
+                state.last_wr_end = end
+                wr_end_any = max(wr_end_any, end)
+                wr_end_long[long_scope] = max(
+                    wr_end_long[long_scope], end)
+                wr_times_by_group[rec.bank_group].append(rec.time)
+            else:
+                state.last_rd = rec.time
+        elif rec.kind == "PRE":
+            if state.open_row < 0:
+                _fail(rec, "PRE of a closed slot", -1)
+            if rec.time < state.act_time + timing.tRAS:
+                _fail(rec, "tRAS", state.act_time + timing.tRAS)
+            if rec.time < state.last_rd + timing.tRTP:
+                _fail(rec, "tRTP", state.last_rd + timing.tRTP)
+            if rec.time < state.last_wr_end + timing.tWR:
+                _fail(rec, "tWR", state.last_wr_end + timing.tWR)
+            state.pre_time = rec.time
+            state.open_row = -1
+        else:
+            raise ValueError(f"unknown command kind {rec.kind!r}")
+    return len(log)

@@ -1,0 +1,227 @@
+"""System configurations for every organisation in the paper's evaluation.
+
+Each :class:`SystemConfig` fully determines a memory system: bank/bank-group
+counts, sub-banking geometry, ERUCA mechanisms, bus policy, timings, and
+address mapping.  The named constructors produce exactly the configurations
+in Figs. 12-16:
+
+=====================  ==============================================
+constructor            paper label
+=====================  ==============================================
+``ddr4_baseline``      DDR4 (16 banks, 4 bank groups)
+``bg32``               BG32 (32 banks, 8 groups, grouped timing)
+``ideal32``            Ideal32 (32 banks, no bank-group penalty)
+``vsb``                VSB(naive / EWLR / RAP / EWLR+RAP)(+DDB)
+``paired_bank``        Paired-bank(EWLR+RAP)(+DDB)
+``masa``               MASA4 / MASA8 (SALP)
+``half_dram``          Half-DRAM
+``masa_eruca``         MASA8 + ERUCA (with or without DDB)
+=====================  ==============================================
+
+All organisations keep capacity constant (4 KiB rank-level rows; the
+baseline's half-bank select bit is its row MSB, see
+:func:`repro.controller.mapping.skylake_mapping`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.controller.mapping import AddressMapping, skylake_mapping
+from repro.controller.queue import QueueConfig
+from repro.core.mechanisms import EruConfig
+from repro.dram.bank import BankGeometry
+from repro.dram.device import Channel
+from repro.dram.power import EnergyParams
+from repro.dram.resources import BusPolicy
+from repro.dram.timing import TimingParams, ddr4_timings, ns
+
+
+class Organization(enum.Enum):
+    DDR4_16 = "ddr4_16"
+    BG32 = "bg32"
+    IDEAL32 = "ideal32"
+    VSB = "vsb"
+    PAIRED_BANK = "paired_bank"
+    MASA = "masa"
+    HALF_DRAM = "half_dram"
+    MASA_ERUCA = "masa_eruca"
+
+
+#: Sub-array interleave latency for MASA (the tSA of Kim et al. [2]).
+DEFAULT_TSA_PS = ns(4)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One complete memory-system configuration."""
+
+    name: str
+    organization: Organization
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    channels: int = 2
+    eru: Optional[EruConfig] = None
+    masa_groups: int = 1
+    bus_frequency_hz: float = 1.333e9
+    tSA: int = DEFAULT_TSA_PS
+    queue: QueueConfig = field(default_factory=QueueConfig)
+    energy: EnergyParams = field(default_factory=EnergyParams)
+    #: Adaptive open-page idle-close threshold (ps); None keeps rows
+    #: open until a conflict forces the precharge (pure open page).
+    idle_close_ps: Optional[int] = None
+    #: Record every issued command for post-hoc timing validation
+    #: (:mod:`repro.dram.validation`).
+    record_commands: bool = False
+
+    # -- derived properties ----------------------------------------------
+
+    @property
+    def subbanked(self) -> bool:
+        return self.organization in (Organization.VSB,
+                                     Organization.PAIRED_BANK,
+                                     Organization.HALF_DRAM,
+                                     Organization.MASA_ERUCA)
+
+    @property
+    def row_bits(self) -> int:
+        """Row-address width keeping capacity constant (34-bit space).
+
+        The non-row fields (offset, column, channel) take 13 bits; the
+        remaining 21 split between bank-group/bank/sub-bank IDs and the
+        row.  The baseline's 17th row bit becomes the sub-bank ID in
+        VSB-style organisations; the paired-bank's sub-bank ID instead
+        comes from a *bank* bit (two banks fuse into one); the 32-bank
+        organisations spend one more bank bit.
+        """
+        bg_bits = (self.bank_groups - 1).bit_length()
+        bank_bits = (self.banks_per_group - 1).bit_length()
+        subbank_bits = 1 if self.subbanked else 0
+        return 21 - bg_bits - bank_bits - subbank_bits
+
+    @property
+    def bus_policy(self) -> BusPolicy:
+        if self.organization is Organization.IDEAL32:
+            return BusPolicy.NO_GROUPS
+        if self.eru is not None and self.eru.ddb:
+            return BusPolicy.DDB
+        return BusPolicy.BANK_GROUPS
+
+    def timing(self) -> TimingParams:
+        t = ddr4_timings(self.bus_frequency_hz)
+        if self.bus_policy is BusPolicy.DDB:
+            t = t.with_ddb_windows()
+        return t
+
+    def bank_geometry(self) -> BankGeometry:
+        groups = self.masa_groups if self.organization in (
+            Organization.MASA, Organization.MASA_ERUCA) else 1
+        return BankGeometry(
+            subbanks=2 if self.subbanked else 1,
+            subarray_groups=groups,
+            row_bits=self.row_bits,
+            tSA=self.tSA if groups > 1 else 0,
+        )
+
+    def mapping(self) -> AddressMapping:
+        layout = self.eru.row_layout() if (self.subbanked and self.eru) \
+            else None
+        return skylake_mapping(
+            subbanked=self.subbanked,
+            row_layout=layout,
+            bank_groups=self.bank_groups,
+            banks_per_group=self.banks_per_group,
+            channels=self.channels,
+            row_bits=self.row_bits,
+        )
+
+    def build_channel(self) -> Channel:
+        eru = self.eru
+        return Channel(
+            timing=self.timing(),
+            policy=self.bus_policy,
+            bank_groups=self.bank_groups,
+            banks_per_group=self.banks_per_group,
+            bank_geometry=self.bank_geometry(),
+            row_layout=eru.row_layout() if (self.subbanked and eru)
+            else None,
+            ewlr=bool(eru and eru.ewlr),
+            rap=bool(eru and eru.rap),
+            energy_params=self.energy,
+            record_commands=self.record_commands,
+        )
+
+    def at_frequency(self, bus_frequency_hz: float) -> "SystemConfig":
+        """The same organisation at a different channel clock (Fig. 14)."""
+        grade = f"{bus_frequency_hz / 1e9:.2f}GHz"
+        return replace(self, bus_frequency_hz=bus_frequency_hz,
+                       name=f"{self.name}@{grade}")
+
+
+# -- named configurations (the paper's evaluated points) -------------------
+
+
+def ddr4_baseline() -> SystemConfig:
+    """Tab. III baseline: DDR4, 16 banks in 4 bank groups."""
+    return SystemConfig("DDR4", Organization.DDR4_16)
+
+
+def bg32() -> SystemConfig:
+    """32 banks, 8 bank groups, standard grouped timing."""
+    return SystemConfig("BG32", Organization.BG32,
+                        bank_groups=8, banks_per_group=4)
+
+
+def ideal32() -> SystemConfig:
+    """Idealised 32 banks with enough buses to avoid bank grouping."""
+    return SystemConfig("Ideal32", Organization.IDEAL32,
+                        bank_groups=8, banks_per_group=4)
+
+
+def vsb(eru: EruConfig = None) -> SystemConfig:
+    """Vertical sub-banks on x4 Combo DRAM with the given mechanisms."""
+    if eru is None:
+        eru = EruConfig.full()
+    return SystemConfig(eru.name, Organization.VSB, eru=eru)
+
+
+def paired_bank(eru: EruConfig = None) -> SystemConfig:
+    """Paired-bank for non-Combo DRAM: 8 fused banks of 2 sub-banks.
+
+    Two adjacent banks share one row decoder; the old bank-select LSB
+    becomes the sub-bank ID, so bank count halves while sub-bank count
+    restores the parallel resources (minus plane conflicts).
+    """
+    if eru is None:
+        eru = EruConfig.full()
+    eru = replace(eru, row_bits=17)
+    return SystemConfig(f"Paired-bank({eru.name})",
+                        Organization.PAIRED_BANK,
+                        bank_groups=4, banks_per_group=2, eru=eru)
+
+
+def masa(groups: int = 8) -> SystemConfig:
+    """MASA (SALP, Kim et al. [2]) with 4 or 8 sub-array groups."""
+    return SystemConfig(f"MASA{groups}", Organization.MASA,
+                        masa_groups=groups)
+
+
+def half_dram() -> SystemConfig:
+    """Half-DRAM (Zhang et al. [4]): two half-wordline sub-banks sharing
+    one row-address latch set (a single plane, no EWLR/RAP), with halved
+    activation energy."""
+    eru = EruConfig(planes=1, ewlr=False, rap=False, ddb=False)
+    return SystemConfig("Half-DRAM", Organization.HALF_DRAM, eru=eru,
+                        energy=EnergyParams(act_scale=0.5))
+
+
+def masa_eruca(groups: int = 8, ddb: bool = True,
+               planes: int = 4) -> SystemConfig:
+    """MASA sub-array groups combined with full ERUCA (Fig. 15)."""
+    eru = EruConfig.full(planes=planes, ddb=ddb)
+    suffix = "" if ddb else "(no DDB)"
+    return SystemConfig(f"MASA{groups}+ERUCA{suffix}",
+                        Organization.MASA_ERUCA,
+                        eru=eru, masa_groups=groups)

@@ -1,0 +1,321 @@
+"""One runner per paper table/figure (shared by benches and examples).
+
+Every runner takes an :class:`ExperimentSettings` controlling scale
+(accesses per core, seeds, mix subset) so the same code serves quick CI
+runs and full reproductions.  Results come back as plain dataclasses the
+benches print in the paper's row/series layout.
+
+Weighted speedup follows the paper: per-mix Snavely-Tullsen WS normalised
+to the DDR4 baseline, GMEAN across mixes.  Alone-IPCs are measured on the
+baseline system once per (benchmark, fragmentation, seed) and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mechanisms import EruConfig
+from repro.cpu.core import CoreConfig
+from repro.cpu.trace import Trace
+from repro.dram.timing import FIG14_BUS_FREQUENCIES_HZ
+from repro.sim import config as cfgs
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import gmean, quartiles, weighted_speedup
+from repro.sim.simulator import SimulationResult, run_traces
+from repro.workloads.generator import generate_traces
+from repro.workloads.mixes import MIXES, MIX_NAMES, mix_traces
+from repro.workloads.profiles import profile
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scale knobs shared by all experiment runners."""
+
+    accesses_per_core: int = 2500
+    fragmentation: float = 0.1
+    seed: int = 0
+    mixes: Tuple[str, ...] = MIX_NAMES
+
+    def quick(self) -> "ExperimentSettings":
+        """A cut-down version for smoke tests."""
+        return replace(self, accesses_per_core=600,
+                       mixes=self.mixes[:2])
+
+
+class ExperimentContext:
+    """Caches traces and alone-IPCs across runners."""
+
+    def __init__(self, settings: ExperimentSettings = ExperimentSettings(),
+                 core_config: CoreConfig = CoreConfig()) -> None:
+        self.settings = settings
+        self.core_config = core_config
+        self._trace_cache: Dict[tuple, List[Trace]] = {}
+        self._alone_cache: Dict[tuple, float] = {}
+
+    # -- workloads ---------------------------------------------------------
+
+    def traces(self, mix: str,
+               fragmentation: Optional[float] = None) -> List[Trace]:
+        s = self.settings
+        frag = s.fragmentation if fragmentation is None else fragmentation
+        key = (mix, frag, s.seed, s.accesses_per_core)
+        if key not in self._trace_cache:
+            self._trace_cache[key] = mix_traces(
+                mix, s.accesses_per_core, fragmentation=frag, seed=s.seed)
+        return self._trace_cache[key]
+
+    def alone_ipc(self, benchmark: str,
+                  fragmentation: Optional[float] = None,
+                  core_config: Optional[CoreConfig] = None) -> float:
+        s = self.settings
+        frag = s.fragmentation if fragmentation is None else fragmentation
+        cc = core_config or self.core_config
+        key = (benchmark, frag, s.seed, s.accesses_per_core, cc.clock_hz)
+        if key not in self._alone_cache:
+            traces = generate_traces(
+                [profile(benchmark)], s.accesses_per_core,
+                fragmentation=frag, seed=s.seed)
+            result = run_traces(cfgs.ddr4_baseline(), traces,
+                                core_config=cc)
+            self._alone_cache[key] = result.ipcs[0]
+        return self._alone_cache[key]
+
+    # -- one (config, mix) evaluation ---------------------------------------
+
+    def run(self, config: SystemConfig, mix: str,
+            fragmentation: Optional[float] = None,
+            core_config: Optional[CoreConfig] = None) -> SimulationResult:
+        return run_traces(config, self.traces(mix, fragmentation),
+                          core_config=core_config or self.core_config)
+
+    def mix_ws(self, config: SystemConfig, mix: str,
+               fragmentation: Optional[float] = None,
+               core_config: Optional[CoreConfig] = None
+               ) -> Tuple[float, SimulationResult]:
+        result = self.run(config, mix, fragmentation, core_config)
+        names, _ = MIXES[mix]
+        alone = [self.alone_ipc(n, fragmentation, core_config)
+                 for n in names]
+        return weighted_speedup(result.ipcs, alone), result
+
+
+# -- Fig. 12: normalised weighted speedup per mix ---------------------------
+
+
+def fig12_configs() -> List[SystemConfig]:
+    """The Fig. 12 comparison set (plus the paired-bank variants)."""
+    return [
+        cfgs.ddr4_baseline(),
+        cfgs.vsb(EruConfig.naive(4)),
+        cfgs.vsb(EruConfig.naive_ddb(4)),
+        cfgs.vsb(EruConfig.full(4)),
+        cfgs.bg32(),
+        cfgs.ideal32(),
+        cfgs.paired_bank(EruConfig.full(4, ddb=False)),
+        cfgs.paired_bank(EruConfig.full(4, ddb=True)),
+    ]
+
+
+@dataclass
+class SpeedupTable:
+    """Per-mix normalised weighted speedups: {config: {mix: value}}."""
+
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    baseline: str = "DDR4"
+
+    def normalized(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        base = self.values[self.baseline]
+        for config, row in self.values.items():
+            out[config] = {mix: v / base[mix] for mix, v in row.items()}
+        return out
+
+    def gmeans(self) -> Dict[str, float]:
+        return {config: gmean(row.values())
+                for config, row in self.normalized().items()}
+
+
+def fig12(context: ExperimentContext,
+          configs: Optional[Sequence[SystemConfig]] = None) -> SpeedupTable:
+    table = SpeedupTable()
+    for config in configs or fig12_configs():
+        row = {}
+        for mix in context.settings.mixes:
+            ws, _ = context.mix_ws(config, mix)
+            row[mix] = ws
+        table.values[config.name] = row
+    return table
+
+
+# -- Fig. 13: plane-count sensitivity + conflict precharges -----------------
+
+
+FIG13_SCHEMES: Tuple[Tuple[str, Callable[[int], EruConfig]], ...] = (
+    ("VSB(naive)+DDB", EruConfig.naive_ddb),
+    ("VSB(EWLR)+DDB", EruConfig.ewlr_only),
+    ("VSB(RAP)+DDB", EruConfig.rap_only),
+    ("VSB(EWLR+RAP)+DDB", EruConfig.full),
+)
+FIG13_PLANES = (2, 4, 8, 16)
+
+
+@dataclass
+class PlaneSweepPoint:
+    scheme: str
+    planes: int
+    fragmentation: float
+    normalized_ws: float
+    plane_precharge_fraction: float
+    ewlr_hit_rate: float
+
+
+def fig13(context: ExperimentContext,
+          fragmentations: Sequence[float] = (0.1, 0.5),
+          planes: Sequence[int] = FIG13_PLANES,
+          schemes=FIG13_SCHEMES) -> List[PlaneSweepPoint]:
+    points: List[PlaneSweepPoint] = []
+    mixes = context.settings.mixes
+    for frag in fragmentations:
+        base_ws = {mix: context.mix_ws(cfgs.ddr4_baseline(), mix, frag)[0]
+                   for mix in mixes}
+        for scheme, make in schemes:
+            for n in planes:
+                config = cfgs.vsb(make(n))
+                normalized, pre_frac, hits = [], [], []
+                for mix in mixes:
+                    ws, result = context.mix_ws(config, mix, frag)
+                    normalized.append(ws / base_ws[mix])
+                    pre_frac.append(
+                        result.plane_conflict_precharge_fraction)
+                    hits.append(result.ewlr_hit_rate)
+                points.append(PlaneSweepPoint(
+                    scheme=scheme, planes=n, fragmentation=frag,
+                    normalized_ws=gmean(normalized),
+                    plane_precharge_fraction=(
+                        sum(pre_frac) / len(pre_frac)),
+                    ewlr_hit_rate=sum(hits) / len(hits)))
+    return points
+
+
+# -- Fig. 14: channel-frequency sensitivity of DDB ---------------------------
+
+
+@dataclass
+class FrequencyPoint:
+    config: str
+    bus_frequency_hz: float
+    normalized_ws: float
+
+
+def fig14_configs() -> List[SystemConfig]:
+    return [
+        cfgs.vsb(EruConfig.full(4, ddb=False)),   # VSB(EWLR+RAP)+BG
+        cfgs.vsb(EruConfig.full(4, ddb=True)),    # VSB(EWLR+RAP)+DDB
+        cfgs.bg32(),
+        cfgs.ideal32(),
+    ]
+
+
+def fig14(context: ExperimentContext,
+          frequencies: Sequence[float] = FIG14_BUS_FREQUENCIES_HZ
+          ) -> List[FrequencyPoint]:
+    """DDB speedup as the channel clock scales (CPU clock scales along,
+    per the paper, to keep memory intensity constant)."""
+    points: List[FrequencyPoint] = []
+    base_freq = frequencies[0]
+    mixes = context.settings.mixes
+    for freq in frequencies:
+        factor = freq / base_freq
+        core = context.core_config.scaled(factor)
+        base_ws = {
+            mix: context.mix_ws(
+                cfgs.ddr4_baseline().at_frequency(freq), mix,
+                core_config=core)[0]
+            for mix in mixes}
+        for config in fig14_configs():
+            scaled = config.at_frequency(freq)
+            normalized = []
+            for mix in mixes:
+                ws, _ = context.mix_ws(scaled, mix, core_config=core)
+                normalized.append(ws / base_ws[mix])
+            points.append(FrequencyPoint(
+                config=config.name, bus_frequency_hz=freq,
+                normalized_ws=gmean(normalized)))
+    return points
+
+
+# -- Fig. 15: comparison to prior sub-banking work ---------------------------
+
+
+def fig15_configs() -> List[SystemConfig]:
+    return [
+        cfgs.half_dram(),
+        cfgs.vsb(EruConfig.full(4, ddb=False)),
+        cfgs.vsb(EruConfig.full(4, ddb=True)),
+        cfgs.masa(4),
+        cfgs.masa(8),
+        cfgs.masa_eruca(8, ddb=False),
+        cfgs.masa_eruca(8, ddb=True),
+        cfgs.ideal32(),
+    ]
+
+
+def fig15(context: ExperimentContext) -> Dict[str, float]:
+    """GMEAN normalised weighted speedup of each prior-work config."""
+    mixes = context.settings.mixes
+    base_ws = {mix: context.mix_ws(cfgs.ddr4_baseline(), mix)[0]
+               for mix in mixes}
+    out: Dict[str, float] = {}
+    for config in fig15_configs():
+        normalized = [context.mix_ws(config, mix)[0] / base_ws[mix]
+                      for mix in mixes]
+        out[config.name] = gmean(normalized)
+    return out
+
+
+# -- Fig. 16: read queueing latency and energy -------------------------------
+
+
+@dataclass
+class LatencyEnergyRow:
+    config: str
+    latency_stats_ns: Dict[str, float]
+    background_energy: float
+    activation_energy: float
+    total_energy: float
+
+    def relative_to(self, other: "LatencyEnergyRow") -> Dict[str, float]:
+        return {
+            "background": self.background_energy / other.background_energy,
+            "activation": self.activation_energy / other.activation_energy,
+            "total": self.total_energy / other.total_energy,
+        }
+
+
+def fig16_configs() -> List[SystemConfig]:
+    return [
+        cfgs.ddr4_baseline(),
+        cfgs.vsb(EruConfig.full(4, ddb=True)),
+        cfgs.ideal32(),
+    ]
+
+
+def fig16(context: ExperimentContext) -> List[LatencyEnergyRow]:
+    rows: List[LatencyEnergyRow] = []
+    for config in fig16_configs():
+        latencies: List[int] = []
+        background = activation = total = 0.0
+        for mix in context.settings.mixes:
+            result = context.run(config, mix)
+            latencies.extend(result.stats.read_latencies)
+            background += result.energy.background_energy_nj(
+                result.elapsed_ps)
+            activation += result.energy.activation_energy_nj()
+            total += result.energy.total_energy_nj(result.elapsed_ps)
+        stats = {k: v / 1000.0 for k, v in quartiles(latencies).items()}
+        rows.append(LatencyEnergyRow(
+            config=config.name, latency_stats_ns=stats,
+            background_energy=background, activation_energy=activation,
+            total_energy=total))
+    return rows

@@ -1,0 +1,68 @@
+"""Performance metrics: IPC aggregation and weighted speedup.
+
+The paper reports *weighted speedup* [Snavely & Tullsen]:
+
+    WS = sum_i IPC_shared,i / IPC_alone,i
+
+normalised to the DDR4 baseline.  Alone-IPCs are measured by running each
+benchmark by itself on the baseline memory system; using one alone-IPC set
+for every configuration keeps the normalised comparison exact (the alone
+term cancels identically in the ratio of two configurations' WS) while
+halving simulation cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+
+def weighted_speedup(shared_ipcs: Sequence[float],
+                     alone_ipcs: Sequence[float]) -> float:
+    """Snavely-Tullsen weighted speedup of one mix run."""
+    if len(shared_ipcs) != len(alone_ipcs):
+        raise ValueError("shared and alone IPC lists differ in length")
+    if not shared_ipcs:
+        raise ValueError("empty IPC lists")
+    for alone in alone_ipcs:
+        if alone <= 0:
+            raise ValueError("alone IPC must be positive")
+    return sum(s / a for s, a in zip(shared_ipcs, alone_ipcs))
+
+
+def normalized(values: Dict[str, float], baseline: str) -> Dict[str, float]:
+    """Normalise a {config: value} dict to one baseline config."""
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} missing from values")
+    base = values[baseline]
+    if base <= 0:
+        raise ValueError("baseline value must be positive")
+    return {name: v / base for name, v in values.items()}
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's GMEAN column)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("gmean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("gmean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def quartiles(samples: Sequence[int]) -> Dict[str, float]:
+    """Mean and quartiles of a latency sample (Fig. 16a box stats)."""
+    if not samples:
+        raise ValueError("no samples")
+    s = sorted(samples)
+    n = len(s)
+
+    def pick(fraction: float) -> float:
+        return float(s[min(n - 1, int(fraction * n))])
+
+    return {
+        "mean": sum(s) / n,
+        "q1": pick(0.25),
+        "median": pick(0.5),
+        "q3": pick(0.75),
+    }

@@ -1,0 +1,212 @@
+"""The event-driven simulator binding cores to channel controllers.
+
+The loop processes, in global time order, exactly two kinds of events:
+
+1. a core hands its next memory access to a channel controller, and
+2. a controller issues the next DRAM command on its channel.
+
+Controllers report the earliest time they could issue (a pure "peek"),
+cores report when their next access is ready (``BLOCKED`` while the ROB is
+full behind an outstanding read); the simulator always commits the
+earliest event.  Because channels are fully independent and core arrivals
+are processed before any later command, this is behaviourally equivalent
+to a cycle-by-cycle simulation while skipping every idle cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.controller.controller import ChannelController, ControllerStats
+from repro.controller.transaction import Transaction, TransactionKind
+from repro.cpu.core import BLOCKED, TraceCore
+from repro.dram.commands import PrechargeCause
+from repro.dram.power import EnergyMeter
+from repro.sim.config import SystemConfig
+
+
+class MemorySystem:
+    """All channels of one configuration plus its address mapping."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.mapping = config.mapping()
+        self.controllers: List[ChannelController] = [
+            ChannelController(config.build_channel(), config.queue,
+                              config.idle_close_ps)
+            for _ in range(config.channels)
+        ]
+
+    def controller_for(self, address: int):
+        """(controller, coords, channel index) serving this address."""
+        coords = self.mapping.decode(address)
+        return self.controllers[coords.channel], coords, coords.channel
+
+
+@dataclass
+class SimulationResult:
+    """Everything the experiments need from one run."""
+
+    config_name: str
+    #: Per-core IPC at the core's own clock.
+    ipcs: List[float]
+    #: Per-core finish times (ps).
+    finish_times: List[int]
+    #: Merged controller statistics.
+    stats: ControllerStats
+    #: Merged energy counters.
+    energy: EnergyMeter
+    #: Precharge counts by cause, summed over channels (Fig. 13b).
+    precharge_causes: Dict[PrechargeCause, int]
+    #: Total simulated time = latest core finish (ps).
+    elapsed_ps: int = 0
+    #: Total memory transactions served.
+    transactions: int = 0
+
+    @property
+    def plane_conflict_precharge_fraction(self) -> float:
+        """Fraction of precharges triggered by plane conflicts."""
+        total = sum(self.precharge_causes.values())
+        if not total:
+            return 0.0
+        return self.precharge_causes[PrechargeCause.PLANE_CONFLICT] / total
+
+    @property
+    def ewlr_hit_rate(self) -> float:
+        if not self.stats.acts:
+            return 0.0
+        return self.stats.ewlr_hits / self.stats.acts
+
+
+class DeadlockError(RuntimeError):
+    """The simulator made no progress; indicates a modelling bug."""
+
+
+class Simulator:
+    """Run a set of trace cores against one memory system."""
+
+    def __init__(self, system: MemorySystem,
+                 cores: List[TraceCore]) -> None:
+        self.system = system
+        self.cores = cores
+        self.now = 0
+        #: Cached scheduler proposals per channel, invalidated on change.
+        self._peeks: List = [None] * len(system.controllers)
+        self._dirty = [True] * len(system.controllers)
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek_channel(self, idx: int):
+        if self._dirty[idx]:
+            self._peeks[idx] = self.system.controllers[idx].peek(self.now)
+            self._dirty[idx] = False
+        return self._peeks[idx]
+
+    def _earliest_command(self):
+        best_idx, best = None, None
+        for idx in range(len(self.system.controllers)):
+            cand = self._peek_channel(idx)
+            if cand is None:
+                continue
+            if best is None or cand.issue_time < best.issue_time:
+                best, best_idx = cand, idx
+        return best_idx, best
+
+    def _try_enqueue(self, core: TraceCore, ready: int) -> bool:
+        entry = core.peek_entry()
+        controller, coords, idx = self.system.controller_for(entry.address)
+        if not controller.has_room(not entry.is_write):
+            return False
+        time = max(self.now, ready)
+        core.pop_request(time)
+        txn = Transaction(
+            kind=(TransactionKind.WRITE if entry.is_write
+                  else TransactionKind.READ),
+            address=entry.address,
+            coords=coords,
+            core=core.core_id,
+            instruction=core.instruction_index_of_last_request(),
+        )
+        controller.enqueue(txn, time)
+        self.now = time
+        self._dirty[idx] = True
+        return True
+
+    def _commit(self, idx: int, candidate) -> None:
+        controller = self.system.controllers[idx]
+        completed = controller.commit(candidate)
+        self.now = max(self.now, candidate.issue_time)
+        self._dirty[idx] = True
+        for txn in completed:
+            if txn.is_read and txn.core >= 0:
+                self.cores[txn.core].complete_read(
+                    txn.instruction, txn.completion_time)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, max_commands: int = 1 << 31) -> SimulationResult:
+        commands = 0
+        while True:
+            # All ready core requests, earliest first.  Cores whose target
+            # queue is full must not head-of-line-block other cores.
+            ready_cores = sorted(
+                ((core.next_request_time(), core.core_id, core)
+                 for core in self.cores),
+                key=lambda item: item[:2])
+            cmd_idx, cmd = self._earliest_command()
+            cmd_time = cmd.issue_time if cmd is not None else BLOCKED
+
+            enqueued = False
+            for ready, _, core in ready_cores:
+                if ready >= BLOCKED or ready > cmd_time:
+                    break
+                if self._try_enqueue(core, ready):
+                    enqueued = True
+                    break
+            if enqueued:
+                continue
+
+            if cmd is None:
+                if all(core.done for core in self.cores):
+                    break
+                raise DeadlockError(
+                    "no events but cores unfinished -- lost a completion?")
+            self._commit(cmd_idx, cmd)
+            commands += 1
+            if commands >= max_commands:
+                raise DeadlockError(
+                    f"exceeded {max_commands} commands; likely livelock")
+        return self._result()
+
+    def _result(self) -> SimulationResult:
+        stats = ControllerStats()
+        energy = EnergyMeter(self.system.config.energy)
+        causes = {cause: 0 for cause in PrechargeCause}
+        for controller in self.system.controllers:
+            stats.merge(controller.stats)
+            energy.merge(controller.channel.energy)
+            for cause, n in controller.channel.precharge_causes.items():
+                causes[cause] += n
+        finish = [core.finish_time() for core in self.cores]
+        return SimulationResult(
+            config_name=self.system.config.name,
+            ipcs=[core.ipc() for core in self.cores],
+            finish_times=finish,
+            stats=stats,
+            energy=energy,
+            precharge_causes=causes,
+            elapsed_ps=max(finish) if finish else 0,
+            transactions=stats.columns,
+        )
+
+
+def run_traces(config: SystemConfig, traces, core_config=None
+               ) -> SimulationResult:
+    """Convenience: build a system, one core per trace, and run."""
+    from repro.cpu.core import CoreConfig
+    system = MemorySystem(config)
+    cc = core_config or CoreConfig()
+    cores = [TraceCore(trace, cc, core_id=i)
+             for i, trace in enumerate(traces)]
+    return Simulator(system, cores).run()

@@ -1,0 +1,192 @@
+"""Physical-memory allocation under controlled fragmentation.
+
+The paper captures physical addresses on a live Linux system and controls
+the *free memory fragmentation index* (FMFI) with the Ingens tool,
+evaluating at 10% and 50% fragmentation.  What fragmentation changes for
+the memory system is *how much physical-address locality survives
+translation*:
+
+* an anonymous region backed by a **transparent huge page** keeps 21 bits
+  of contiguity -- the source of the paper's "region 1" locality (only
+  high-order row bits change infrequently);
+* a region that falls back to scattered **4 KiB pages** destroys all
+  locality above bit 12.
+
+We model this directly: a :class:`PhysicalMemory` hands out 2 MiB-aligned
+huge regions or scattered 4 KiB frames from a physical address space, and
+a huge-page allocation *fails* with probability equal to the FMFI (at 50%
+fragmentation, half the memory is only available in sub-huge-page
+blocks).  A :class:`VirtualMemory` is a per-process page table applying
+transparent-huge-page policy on demand.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+HUGE_SHIFT = 21
+HUGE_SIZE = 1 << HUGE_SHIFT
+FRAMES_PER_HUGE = HUGE_SIZE // PAGE_SIZE
+
+
+class OutOfMemoryError(RuntimeError):
+    """The modelled physical address space is exhausted."""
+
+
+class PhysicalMemory:
+    """A physical address space with an FMFI-style fragmentation knob."""
+
+    def __init__(self, total_bytes: int = 1 << 34,
+                 fragmentation: float = 0.1, seed: int = 0,
+                 jump_probability: float = 0.05) -> None:
+        if total_bytes % HUGE_SIZE:
+            raise ValueError("total_bytes must be a multiple of 2 MiB")
+        if not 0.0 <= fragmentation <= 1.0:
+            raise ValueError("fragmentation must be in [0, 1]")
+        self.total_bytes = total_bytes
+        self.fragmentation = fragmentation
+        self.jump_probability = jump_probability
+        self._rng = random.Random(seed)
+        self._chunk_count = total_bytes // HUGE_SIZE
+        self._free = bytearray(b"\x01" * self._chunk_count)
+        self._free_count = self._chunk_count
+        #: Per-process allocation cursors: each process's huge pages
+        #: cluster in its own band of physical memory, like the distinct
+        #: free areas a buddy allocator serves long-lived processes from.
+        self._cursors: Dict[int, int] = {}
+        #: Partially-used chunks serving scattered 4 KiB frames:
+        #: chunk index -> list of free frame offsets (shuffled).
+        self._broken: Dict[int, list] = {}
+        self._frames_allocated = 0
+
+    @property
+    def frames_allocated(self) -> int:
+        return self._frames_allocated
+
+    def _take_chunk_from(self, start: int) -> int:
+        """Next free chunk at/after ``start`` (wrapping), like a buddy
+        allocator serving a stream of requests from one free area."""
+        if not self._free_count:
+            raise OutOfMemoryError("physical memory exhausted")
+        idx = start % self._chunk_count
+        for _ in range(self._chunk_count):
+            if self._free[idx]:
+                self._free[idx] = 0
+                self._free_count -= 1
+                return idx
+            idx = (idx + 1) % self._chunk_count
+        raise OutOfMemoryError("physical memory exhausted")
+
+    def allocate_huge(self, owner: int = 0) -> Optional[int]:
+        """A 2 MiB-aligned physical base, or None on fragmentation miss.
+
+        The miss probability equals the configured fragmentation level --
+        the model's definition of FMFI (the fraction of free memory not
+        available as >= 2 MiB blocks).
+
+        Successful allocations are *clustered per owner*: each process's
+        huge pages continue from that process's previous allocation, with
+        an occasional far jump (``jump_probability``).  This mirrors how
+        a buddy allocator serves co-running processes from distinct
+        contiguous free areas and produces the multi-scale
+        row-address-MSB locality the paper measures in Fig. 4
+        ("region 1").
+        """
+        if self._rng.random() < self.fragmentation:
+            return None
+        cursor = self._cursors.get(owner)
+        if cursor is None or self._rng.random() < self.jump_probability:
+            cursor = self._rng.randrange(self._chunk_count)
+        chunk = self._take_chunk_from(cursor)
+        self._cursors[owner] = chunk + 1
+        self._frames_allocated += FRAMES_PER_HUGE
+        return chunk * HUGE_SIZE
+
+    #: Broken chunks kept available simultaneously, so scattered frames
+    #: come from all over physical memory rather than draining one chunk.
+    BROKEN_POOL = 32
+
+    def allocate_frame(self) -> int:
+        """One scattered 4 KiB frame from a random broken chunk.
+
+        Broken chunks sit at random positions and a pool of them serves
+        frame allocations round-robin-randomly: fragmented allocations
+        land anywhere in physical memory, destroying high-order address
+        locality (the fragmentation effect the paper studies at FMFI
+        50%).
+        """
+        while (len(self._broken) < self.BROKEN_POOL
+               and self._free_count):
+            self._break_chunk()
+        if not self._broken:
+            raise OutOfMemoryError("no broken chunks left")
+        chunk = self._rng.choice(list(self._broken))
+        frames = self._broken[chunk]
+        offset = frames.pop()
+        if not frames:
+            del self._broken[chunk]
+        self._frames_allocated += 1
+        return chunk * HUGE_SIZE + offset * PAGE_SIZE
+
+    def _break_chunk(self) -> None:
+        # Broken chunks come from anywhere in memory (no owner band).
+        chunk = self._take_chunk_from(self._rng.randrange(self._chunk_count))
+        offsets = list(range(FRAMES_PER_HUGE))
+        self._rng.shuffle(offsets)
+        self._broken[chunk] = offsets
+
+
+class VirtualMemory:
+    """A per-process page table with transparent-huge-page policy.
+
+    Each 2 MiB-aligned virtual region is backed on first touch: by a huge
+    page when :meth:`PhysicalMemory.allocate_huge` succeeds, otherwise by
+    independent scattered 4 KiB frames (allocated lazily per page).
+    """
+
+    _next_owner = 0
+
+    def __init__(self, physical: PhysicalMemory,
+                 owner: Optional[int] = None) -> None:
+        self.physical = physical
+        if owner is None:
+            owner = VirtualMemory._next_owner
+            VirtualMemory._next_owner += 1
+        self.owner = owner
+        #: region index -> huge physical base (int) or per-page dict.
+        self._regions: Dict[int, object] = {}
+        self.huge_regions = 0
+        self.fragmented_regions = 0
+
+    def translate(self, vaddr: int) -> int:
+        if vaddr < 0:
+            raise ValueError("negative virtual address")
+        region = vaddr >> HUGE_SHIFT
+        backing = self._regions.get(region)
+        if backing is None:
+            base = self.physical.allocate_huge(self.owner)
+            if base is None:
+                backing = {}
+                self.fragmented_regions += 1
+            else:
+                backing = base
+                self.huge_regions += 1
+            self._regions[region] = backing
+        if isinstance(backing, int):
+            return backing | (vaddr & (HUGE_SIZE - 1))
+        page = (vaddr >> PAGE_SHIFT) & (FRAMES_PER_HUGE - 1)
+        frame = backing.get(page)
+        if frame is None:
+            frame = self.physical.allocate_frame()
+            backing[page] = frame
+        return frame | (vaddr & (PAGE_SIZE - 1))
+
+    @property
+    def huge_page_rate(self) -> float:
+        total = self.huge_regions + self.fragmented_regions
+        if not total:
+            return 0.0
+        return self.huge_regions / total

@@ -1,0 +1,173 @@
+"""Synthetic trace generation from benchmark profiles.
+
+Virtual access streams are synthesised per the profile (stream cursors,
+hot-set reuse, random pointer chasing) and translated to physical
+addresses through a fragmentation-aware :class:`VirtualMemory`, so the
+physical traces exhibit exactly the locality structure the paper studies:
+huge-page-backed regions preserve high-order contiguity ("region 1"),
+streams crossing DRAM rows create low-order row-address locality
+("region 2"), and higher fragmentation destroys both.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Optional
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.workloads.fragmentation import PhysicalMemory, VirtualMemory
+from repro.workloads.profiles import BenchmarkProfile
+
+LINE = 64
+
+#: Bytes covered by one DRAM row value under the default mapping: all
+#: address bits below the row field (offset, column, channel, bank bits)
+#: span 2^18 bytes.  A "neighbouring row" access (vertical stencil) is
+#: therefore +/- this much in the address space.
+ROW_SPAN_BYTES = 1 << 18
+
+
+class StreamCursor:
+    """A sequential walker over the virtual footprint.
+
+    A cursor may be *paired* with an earlier cursor: it then walks a few
+    DRAM rows away at an independent column phase, like the ``a[i]`` /
+    ``b[i]`` array pairs of scientific loops.  Paired walkers are what put
+    *nearby but different* rows into the two sub-banks concurrently --
+    the paper's "region 2" inter-sub-bank locality that EWLR exploits and
+    that extra planes cannot remove.
+    """
+
+    def __init__(self, rng: random.Random, footprint: int,
+                 partner: "StreamCursor" = None) -> None:
+        self._rng = rng
+        self._footprint = footprint
+        self.partner = partner
+        self._restart()
+
+    def _restart(self) -> None:
+        if self.partner is not None:
+            distance = self._rng.choice((1, 1, 1, 2, 2, 4, 8))
+            row_offset = distance * ROW_SPAN_BYTES
+            phase = self._rng.randrange(0, 128) * LINE
+            position = self.partner.position + row_offset + phase
+            self.position = position % self._footprint // LINE * LINE
+        else:
+            self.position = self._rng.randrange(
+                0, self._footprint // LINE) * LINE
+
+    def next(self) -> int:
+        addr = self.position
+        self.position += LINE
+        if self.position >= self._footprint:
+            self._restart()
+        return addr
+
+
+class TraceGenerator:
+    """Generate one benchmark's trace into a shared physical memory."""
+
+    def __init__(self, profile: BenchmarkProfile,
+                 physical: PhysicalMemory,
+                 seed: int = 0) -> None:
+        self.profile = profile
+        self.vm = VirtualMemory(physical)
+        # zlib.crc32 is process-stable, unlike hash() on strings, so
+        # traces are reproducible across runs for a given seed.
+        name_salt = zlib.crc32(profile.name.encode()) & 0xFF
+        self._rng = random.Random((seed << 8) ^ name_salt)
+        self._streams: List[StreamCursor] = []
+        for i in range(profile.stream_count):
+            partner = None
+            if self._streams and self._rng.random() < 0.5:
+                partner = self._rng.choice(self._streams)
+            self._streams.append(StreamCursor(
+                self._rng, profile.footprint_bytes, partner))
+        hot_bytes = max(LINE, int(profile.footprint_bytes
+                                  * profile.hot_set))
+        self._hot_base = self._rng.randrange(
+            0, max(1, (profile.footprint_bytes - hot_bytes) // LINE)) * LINE
+        self._hot_bytes = hot_bytes
+        #: Current stream burst: streams emit short sequential runs
+        #: before the generator switches streams, like the line-fill
+        #: bursts a hardware prefetcher produces.
+        self._burst_stream: StreamCursor = self._streams[0]
+        self._burst_left = 0
+
+    def _stream_address(self) -> int:
+        p, rng = self.profile, self._rng
+        if self._burst_left <= 0:
+            self._burst_stream = rng.choice(self._streams)
+            self._burst_left = rng.randint(4, 16)
+        self._burst_left -= 1
+        cursor = self._burst_stream
+        if cursor.partner is not None and rng.random() < 0.5:
+            # Loop bodies touch the paired array in the same iteration
+            # (a[i] / b[i]): interleave the partner within the burst.
+            cursor = cursor.partner
+        addr = cursor.next()
+        if rng.random() < p.neighbor_fraction:
+            # Vertical-stencil neighbour: the same position a few DRAM
+            # rows up or down ("region 2" row-address locality -- the
+            # paper's 13-MSB locality covers rows within +/-8).
+            distance = rng.choice((1, 1, 2, 4, 8))
+            offset = distance * ROW_SPAN_BYTES
+            if rng.random() < 0.5:
+                offset = -offset
+            neighbor = addr + offset
+            if 0 <= neighbor < p.footprint_bytes:
+                addr = neighbor
+        return addr
+
+    def _virtual_address(self) -> tuple:
+        """(virtual address, is_stream_access)."""
+        p, rng = self.profile, self._rng
+        if rng.random() < p.stream_fraction:
+            return self._stream_address(), True
+        if rng.random() < p.hot_fraction:
+            offset = rng.randrange(0, self._hot_bytes // LINE) * LINE
+            return self._hot_base + offset, False
+        return rng.randrange(0, p.footprint_bytes // LINE) * LINE, False
+
+    def _gap(self) -> int:
+        mean = self.profile.mean_gap
+        if mean <= 0:
+            return 0
+        return min(int(self._rng.expovariate(1.0 / mean)), 100 * int(mean) + 100)
+
+    def generate(self, accesses: int, name: Optional[str] = None) -> Trace:
+        entries: List[TraceEntry] = []
+        p = self.profile
+        for _ in range(accesses):
+            vaddr, is_stream = self._virtual_address()
+            paddr = self.vm.translate(vaddr) & ~(LINE - 1)
+            is_write = self._rng.random() < p.write_fraction
+            # Non-stream reads are pointer-chase candidates: their
+            # address came from a previous load with probability
+            # ``dependent_fraction``.
+            depends = (not is_stream and not is_write
+                       and self._rng.random() < p.dependent_fraction)
+            entries.append(
+                TraceEntry(self._gap(), is_write, paddr, depends))
+        return Trace.from_entries(
+            entries, name=name or self.profile.name)
+
+
+def generate_traces(profiles: List[BenchmarkProfile],
+                    accesses_per_core: int,
+                    fragmentation: float = 0.1,
+                    total_physical_bytes: int = 1 << 34,
+                    seed: int = 0) -> List[Trace]:
+    """Traces for one multi-programmed mix sharing physical memory.
+
+    All programs allocate from the same :class:`PhysicalMemory`, like
+    co-running processes on one machine; the fragmentation level plays
+    the role of the paper's FMFI (10% / 50%).
+    """
+    physical = PhysicalMemory(total_physical_bytes, fragmentation, seed)
+    traces = []
+    for i, prof in enumerate(profiles):
+        gen = TraceGenerator(prof, physical, seed=seed * 31 + i)
+        traces.append(gen.generate(accesses_per_core))
+    return traces

@@ -1,0 +1,54 @@
+"""The nine 4-program mixes of the paper's Tab. III."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cpu.trace import Trace
+from repro.workloads.generator import generate_traces
+from repro.workloads.profiles import BenchmarkProfile, profile
+
+#: Tab. III: mix name -> (benchmarks, intensity signature).
+MIXES: Dict[str, Tuple[Tuple[str, str, str, str], str]] = {
+    "mix0": (("mcf", "lbm", "omnetpp", "gemsFDTD"), "H:H:H:H"),
+    "mix1": (("mcf", "lbm", "gemsFDTD", "soplex"), "H:H:H:H"),
+    "mix2": (("lbm", "omnetpp", "gemsFDTD", "soplex"), "H:H:H:H"),
+    "mix3": (("omnetpp", "gemsFDTD", "soplex", "milc"), "H:H:H:M"),
+    "mix4": (("gemsFDTD", "soplex", "milc", "bwaves"), "H:H:M:M"),
+    "mix5": (("soplex", "milc", "bwaves", "leslie3d"), "H:M:M:M"),
+    "mix6": (("milc", "bwaves", "astar", "leslie3d"), "M:M:M:M"),
+    "mix7": (("milc", "bwaves", "astar", "cactusADM"), "M:M:M:M"),
+    "mix8": (("bwaves", "leslie3d", "astar", "cactusADM"), "M:M:M:M"),
+}
+
+MIX_NAMES = tuple(MIXES)
+
+
+def mix_profiles(mix: str) -> List[BenchmarkProfile]:
+    try:
+        names, _ = MIXES[mix]
+    except KeyError:
+        raise KeyError(f"unknown mix {mix!r}; known: {list(MIXES)}") \
+            from None
+    return [profile(n) for n in names]
+
+
+def mix_intensity(mix: str) -> str:
+    return MIXES[mix][1]
+
+
+def mix_traces(mix: str, accesses_per_core: int = 4000,
+               fragmentation: float = 0.1, seed: int = 0) -> List[Trace]:
+    """Generate the four traces of one mix (shared physical memory)."""
+    return generate_traces(mix_profiles(mix), accesses_per_core,
+                           fragmentation=fragmentation, seed=seed)
+
+
+def benchmark_names() -> List[str]:
+    """Every distinct benchmark appearing in some mix."""
+    seen: List[str] = []
+    for names, _ in MIXES.values():
+        for n in names:
+            if n not in seen:
+                seen.append(n)
+    return seen

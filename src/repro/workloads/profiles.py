@@ -1,0 +1,157 @@
+"""Synthetic per-benchmark memory-behaviour profiles.
+
+The paper evaluates SPEC CPU2006 applications (Tab. III) via captured
+physical-address traces.  We do not have SPEC; instead each benchmark is
+characterised by the quantities the ERUCA mechanisms are sensitive to:
+
+* **MPKI** -- memory pressure (the H/M intensity classes of Tab. III);
+* **stream behaviour** -- the fraction of accesses that advance one of a
+  set of sequential stream cursors (spatial locality: row hits, and the
+  paper's "region 2" low-order row-address locality when streams cross
+  row boundaries);
+* **hot-set reuse** -- non-stream accesses draw from a hot subset of the
+  footprint (temporal locality, "region 1" high-order locality via huge
+  pages);
+* **footprint** and **write fraction**.
+
+The numbers are calibrated against published SPEC2006 memory
+characterisation (MPKI and footprints rounded from Jaleel's working-set
+study and the SALP/USIMM literature); they are knobs, not measurements,
+and the experiments only rely on their relative ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Tunable description of one benchmark's memory behaviour."""
+
+    name: str
+    #: Memory accesses per thousand instructions (drives the gap draw).
+    mpki: float
+    #: Intensity class from Tab. III ("H" or "M"; "L" unused by mixes).
+    intensity: str
+    #: Touched virtual footprint in MiB.
+    footprint_mb: int
+    #: Fraction of accesses that advance a sequential stream cursor.
+    stream_fraction: float
+    #: Number of concurrent stream cursors.
+    stream_count: int
+    #: Fraction of non-stream accesses that hit the hot subset.
+    hot_fraction: float
+    #: Hot subset size as a fraction of the footprint.
+    hot_set: float
+    #: Fraction of accesses that are writes.
+    write_fraction: float
+    #: Fraction of stream accesses that touch a *neighbouring DRAM row*
+    #: (vertical-stencil behaviour: A[i-1][j] next to A[i][j]).  This is
+    #: the source of the paper's "region 2" low-order row-address
+    #: locality that EWLR targets.
+    neighbor_fraction: float = 0.1
+    #: Fraction of non-stream accesses that are *address-dependent* on
+    #: the previous read (pointer chasing).  Dependent chains make the
+    #: core latency-sensitive, which is what turns avoided conflicts
+    #: into IPC.
+    dependent_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.mpki <= 0:
+            raise ValueError("mpki must be positive")
+        if self.intensity not in ("H", "M", "L"):
+            raise ValueError("intensity must be H, M or L")
+        for frac in (self.stream_fraction, self.hot_fraction,
+                     self.hot_set, self.write_fraction,
+                     self.neighbor_fraction, self.dependent_fraction):
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError("fractions must be in [0, 1]")
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.footprint_mb << 20
+
+    @property
+    def mean_gap(self) -> float:
+        """Mean non-memory instructions between accesses."""
+        return max(0.0, 1000.0 / self.mpki - 1.0)
+
+
+#: The ten SPEC2006 applications used by the paper's nine mixes.
+PROFILES: Dict[str, BenchmarkProfile] = {
+    p.name: p for p in (
+        # -- high intensity ------------------------------------------------
+        BenchmarkProfile("mcf", mpki=65.0, intensity="H",
+                         footprint_mb=1536, stream_fraction=0.15,
+                         stream_count=4, hot_fraction=0.6, hot_set=0.02,
+                         write_fraction=0.26,
+                         neighbor_fraction=0.02,
+                         dependent_fraction=0.75),
+        BenchmarkProfile("lbm", mpki=45.0, intensity="H",
+                         footprint_mb=400, stream_fraction=0.90,
+                         stream_count=8, hot_fraction=0.5, hot_set=0.04,
+                         write_fraction=0.45,
+                         neighbor_fraction=0.12,
+                         dependent_fraction=0.05),
+        BenchmarkProfile("gemsFDTD", mpki=30.0, intensity="H",
+                         footprint_mb=800, stream_fraction=0.80,
+                         stream_count=12, hot_fraction=0.5, hot_set=0.04,
+                         write_fraction=0.33,
+                         neighbor_fraction=0.15,
+                         dependent_fraction=0.1),
+        BenchmarkProfile("omnetpp", mpki=25.0, intensity="H",
+                         footprint_mb=160, stream_fraction=0.45,
+                         stream_count=4, hot_fraction=0.7, hot_set=0.03,
+                         write_fraction=0.35,
+                         neighbor_fraction=0.03,
+                         dependent_fraction=0.6),
+        BenchmarkProfile("soplex", mpki=28.0, intensity="H",
+                         footprint_mb=256, stream_fraction=0.60,
+                         stream_count=6, hot_fraction=0.6, hot_set=0.04,
+                         write_fraction=0.24,
+                         neighbor_fraction=0.06,
+                         dependent_fraction=0.3),
+        # -- medium intensity ----------------------------------------------
+        BenchmarkProfile("milc", mpki=18.0, intensity="M",
+                         footprint_mb=680, stream_fraction=0.50,
+                         stream_count=6, hot_fraction=0.5, hot_set=0.05,
+                         write_fraction=0.36,
+                         neighbor_fraction=0.08,
+                         dependent_fraction=0.2),
+        BenchmarkProfile("bwaves", mpki=15.0, intensity="M",
+                         footprint_mb=870, stream_fraction=0.85,
+                         stream_count=10, hot_fraction=0.5, hot_set=0.04,
+                         write_fraction=0.21,
+                         neighbor_fraction=0.12,
+                         dependent_fraction=0.05),
+        BenchmarkProfile("leslie3d", mpki=12.0, intensity="M",
+                         footprint_mb=80, stream_fraction=0.80,
+                         stream_count=8, hot_fraction=0.6, hot_set=0.05,
+                         write_fraction=0.30,
+                         neighbor_fraction=0.12,
+                         dependent_fraction=0.05),
+        BenchmarkProfile("astar", mpki=8.0, intensity="M",
+                         footprint_mb=170, stream_fraction=0.4,
+                         stream_count=3, hot_fraction=0.7, hot_set=0.03,
+                         write_fraction=0.30,
+                         neighbor_fraction=0.02,
+                         dependent_fraction=0.65),
+        BenchmarkProfile("cactusADM", mpki=6.0, intensity="M",
+                         footprint_mb=650, stream_fraction=0.70,
+                         stream_count=6, hot_fraction=0.5, hot_set=0.04,
+                         write_fraction=0.35,
+                         neighbor_fraction=0.1,
+                         dependent_fraction=0.1),
+    )
+}
+
+
+def profile(name: str) -> BenchmarkProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(PROFILES)}"
+        ) from None

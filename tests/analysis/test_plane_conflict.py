@@ -1,0 +1,118 @@
+"""Tests for the Fig. 4 plane-conflict trace analysis."""
+
+import pytest
+
+from repro.analysis.plane_conflict import (
+    FIG4_PLANE_COUNTS,
+    analyze_plane_conflicts,
+    timestamp_trace,
+)
+from repro.controller.mapping import skylake_mapping
+from repro.cpu.trace import Trace, TraceEntry
+
+MAPPING = skylake_mapping(subbanked=True)
+
+
+def trace_of(specs):
+    return Trace.from_entries(
+        [TraceEntry(g, False, a) for g, a in specs])
+
+
+def address(subbank, row, mapping=MAPPING):
+    """Physical address hitting bank (0,0) of channel 0."""
+    from repro.controller.transaction import DramCoordinates
+    coords = DramCoordinates(channel=0, rank=0, bank_group=0, bank=0,
+                             subbank=subbank, row=row, column=0)
+    return mapping.encode(coords)
+
+
+class TestTimestamping:
+    def test_times_monotone(self):
+        t = trace_of([(10, 0x1000), (5, 0x2000), (0, 0x3000)])
+        stamped = timestamp_trace(t, MAPPING)
+        times = [a.time for a in stamped]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_effective_ipc_stretches_time(self):
+        t = trace_of([(100, 0x1000)])
+        slow = timestamp_trace(t, MAPPING, effective_ipc=1.0)
+        fast = timestamp_trace(t, MAPPING, effective_ipc=4.0)
+        assert slow[0].time > fast[0].time
+
+
+class TestConflictDetection:
+    def test_same_plane_cross_subbank_conflicts(self):
+        # Two near-simultaneous accesses: same bank, opposite sub-banks,
+        # different rows with equal MSBs -> conflict at low plane counts.
+        rows = (0b01 << 14, (0b01 << 14) | 1)
+        t = trace_of([(0, address(0, rows[0])), (0, address(1, rows[1]))])
+        res = analyze_plane_conflicts([t], MAPPING, plane_counts=(4,))
+        assert res[4].plane_conflict == 2
+
+    def test_different_plane_no_conflict(self):
+        rows = (0b00 << 14, 0b11 << 14)
+        t = trace_of([(0, address(0, rows[0])), (0, address(1, rows[1]))])
+        res = analyze_plane_conflicts([t], MAPPING, plane_counts=(4,))
+        assert res[4].plane_conflict == 0
+        assert res[4].no_plane_conflict == 2
+
+    def test_same_row_does_not_conflict(self):
+        row = 0b01 << 14
+        t = trace_of([(0, address(0, row)), (0, address(1, row))])
+        res = analyze_plane_conflicts([t], MAPPING, plane_counts=(4,))
+        assert res[4].plane_conflict == 0
+        assert res[4].overlapping == 2
+
+    def test_same_subbank_not_counted_as_overlap(self):
+        t = trace_of([(0, address(0, 1)), (0, address(0, 2))])
+        res = analyze_plane_conflicts([t], MAPPING, plane_counts=(4,))
+        assert res[4].overlapping == 0
+
+    def test_distant_in_time_not_counted(self):
+        # Gap huge => far outside the tRC window.
+        t = trace_of([(0, address(0, 0b01 << 14)),
+                      (10**6, address(1, (0b01 << 14) | 1))])
+        res = analyze_plane_conflicts([t], MAPPING, plane_counts=(4,))
+        assert res[4].overlapping == 0
+
+    def test_different_banks_never_interact(self):
+        from repro.controller.transaction import DramCoordinates
+        a = MAPPING.encode(DramCoordinates(0, 0, 0, 0, 0, 5, 0))
+        b = MAPPING.encode(DramCoordinates(0, 0, 0, 1, 1, 5, 0))
+        t = trace_of([(0, a), (0, b)])
+        res = analyze_plane_conflicts([t], MAPPING, plane_counts=(2,))
+        assert res[2].overlapping == 0
+
+
+class TestCurveShape:
+    def test_conflicts_decrease_with_planes(self):
+        import random
+        rng = random.Random(0)
+        specs = []
+        for _ in range(300):
+            specs.append((rng.randrange(3),
+                          address(rng.randrange(2),
+                                  rng.randrange(1 << 16))))
+        t = trace_of(specs)
+        res = analyze_plane_conflicts(
+            [t], MAPPING, plane_counts=(2, 16, 1024))
+        c2 = res[2].plane_conflict
+        c16 = res[16].plane_conflict
+        c1024 = res[1024].plane_conflict
+        assert c2 >= c16 >= c1024
+
+    def test_overlap_independent_of_plane_count(self):
+        import random
+        rng = random.Random(1)
+        t = trace_of([(0, address(rng.randrange(2),
+                                  rng.randrange(1 << 16)))
+                      for _ in range(100)])
+        res = analyze_plane_conflicts([t], MAPPING,
+                                      plane_counts=(2, 4096))
+        assert res[2].overlapping == res[4096].overlapping
+
+    def test_fig4_axis(self):
+        assert FIG4_PLANE_COUNTS[0] == 2
+        assert FIG4_PLANE_COUNTS[-1] == 32768
+        assert len(FIG4_PLANE_COUNTS) == 15

@@ -1,0 +1,111 @@
+"""Tests for the Fig. 11 area-overhead model."""
+
+import pytest
+
+from repro.core.area import (
+    DIE_AREA_MM2,
+    HALF_DRAM_OVERHEAD_PCT,
+    MASA_OVERHEAD_PCT,
+    ddb_overhead_pct,
+    eruca_overhead_pct,
+    fig11_table,
+    latch_bits,
+    latch_set_area_um2,
+    paired_bank_overhead_pct,
+    vsb_latch_overhead_pct,
+)
+from repro.core.mechanisms import EruConfig
+
+
+class TestComponents:
+    def test_latch_bits_baseline(self):
+        assert latch_bits(2, ewlr=False) == 40
+        assert latch_bits(2, ewlr=True) == 48
+
+    def test_latch_bits_shrink_with_planes(self):
+        assert latch_bits(4, ewlr=False) == 39
+        assert latch_bits(16, ewlr=False) == 37
+
+    def test_latch_set_area_matches_synthesis(self):
+        assert latch_set_area_um2(2, ewlr=False) == pytest.approx(203.0)
+        assert latch_set_area_um2(2, ewlr=True) == pytest.approx(244.0)
+
+    def test_latch_overhead_tiny(self):
+        assert vsb_latch_overhead_pct(2, ewlr=False) < 0.01
+
+    def test_ddb_is_half_a_permille(self):
+        """Paper: DDB incurs 0.05% area overhead."""
+        assert ddb_overhead_pct() == pytest.approx(0.05, abs=0.005)
+
+    def test_ddb_dominated_by_wires(self):
+        # Paper: 85% of the DDB overhead is the bus selection wires.
+        from repro.core.area import (
+            DDB_BUS_WIRES, DDB_WIRE_GROWTH_UM, DIE_HEIGHT_MM, _pct)
+        wires = _pct(DDB_BUS_WIRES * DDB_WIRE_GROWTH_UM
+                     * DIE_HEIGHT_MM * 1e3)
+        assert wires / ddb_overhead_pct() > 0.8
+
+
+class TestPaperPoints:
+    """The calibration points quoted in Section VI-C."""
+
+    def test_rap_2_planes(self):
+        cfg = EruConfig(planes=2, ewlr=False, rap=True, ddb=False)
+        assert eruca_overhead_pct(cfg) == pytest.approx(0.06, abs=0.01)
+
+    def test_ewlr_increment_is_6_hundredths(self):
+        rap = EruConfig(planes=2, ewlr=False, rap=True, ddb=False)
+        both = EruConfig(planes=2, ewlr=True, rap=True, ddb=False)
+        delta = eruca_overhead_pct(both) - eruca_overhead_pct(rap)
+        assert delta == pytest.approx(0.06, abs=0.015)
+
+    def test_full_eruca_4_planes_below_0_3(self):
+        """Paper: up to 4 planes the area overhead is less than 0.3%."""
+        assert eruca_overhead_pct(EruConfig.full(4)) < 0.3
+
+    def test_full_eruca_16_planes(self):
+        assert eruca_overhead_pct(EruConfig.full(16)) == pytest.approx(
+            0.36, abs=0.03)
+
+    def test_overhead_monotone_in_planes(self):
+        values = [eruca_overhead_pct(EruConfig.full(n))
+                  for n in (2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_eruca_five_times_cheaper_than_half_dram(self):
+        """Paper: five times lower overhead than the cheapest prior
+        sub-banking (Half-DRAM at 1.46%)."""
+        full = eruca_overhead_pct(EruConfig.full(4))
+        assert HALF_DRAM_OVERHEAD_PCT / full > 5.0
+
+    def test_masa_overheads(self):
+        assert MASA_OVERHEAD_PCT[4] == 3.03
+        assert MASA_OVERHEAD_PCT[8] == 4.76
+
+    def test_paired_bank_saves_area(self):
+        assert paired_bank_overhead_pct(EruConfig.full(4)) < 0
+
+
+class TestFig11Table:
+    def test_four_series_and_prior_work(self):
+        rows = fig11_table()
+        schemes = {r.scheme for r in rows}
+        assert {"RAP", "EWLR+RAP", "DDB+RAP", "DDB+EWLR+RAP",
+                "Half-DRAM", "MASA4", "MASA8"} <= schemes
+
+    def test_series_ordering(self):
+        rows = {(r.scheme, r.planes): r.overhead_pct
+                for r in fig11_table()}
+        for planes in (2, 4, 8, 16):
+            assert rows[("RAP", planes)] < rows[("EWLR+RAP", planes)]
+            assert (rows[("EWLR+RAP", planes)]
+                    < rows[("DDB+EWLR+RAP", planes)])
+
+    def test_all_eruca_rows_far_below_masa(self):
+        rows = fig11_table()
+        eruca_max = max(r.overhead_pct for r in rows
+                        if "RAP" in r.scheme and "Paired" not in r.scheme)
+        assert eruca_max < MASA_OVERHEAD_PCT[4] / 5
+
+    def test_die_area_constant(self):
+        assert DIE_AREA_MM2 == pytest.approx(8.98 * 13.47, rel=0.01)

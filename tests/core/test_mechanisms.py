@@ -1,0 +1,144 @@
+"""Tests for EruConfig and the RAP/EWLR helper modules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.mapping import PlanePlacement, RowLayout
+from repro.core.ewlr import (
+    VPP_SAVING_FRACTION,
+    ewlr_range,
+    is_ewlr_hit,
+    rows_per_ewlr,
+)
+from repro.core.mechanisms import EruConfig
+from repro.core.rap import (
+    conflict_probability_equal_fields,
+    conflict_probability_random,
+    conflicts,
+    permute_plane,
+)
+
+
+class TestEruConfig:
+    def test_full_has_everything(self):
+        c = EruConfig.full(4)
+        assert c.ewlr and c.rap and c.ddb
+        assert c.planes == 4
+
+    def test_naive_has_nothing(self):
+        c = EruConfig.naive(8)
+        assert not (c.ewlr or c.rap or c.ddb)
+
+    def test_rejects_bad_plane_count(self):
+        with pytest.raises(ValueError):
+            EruConfig(planes=3)
+
+    def test_names_distinct(self):
+        names = {EruConfig.naive(4).name, EruConfig.naive_ddb(4).name,
+                 EruConfig.ewlr_only(4).name, EruConfig.rap_only(4).name,
+                 EruConfig.full(4).name, EruConfig.full(2).name}
+        assert len(names) == 6
+
+    def test_row_layout_placement_follows_fig9(self):
+        # EWLR alone: plane from row LSBs (mapping 2).
+        assert (EruConfig.ewlr_only(4).row_layout().plane_placement
+                is PlanePlacement.LSB)
+        # EWLR+RAP: plane from row MSBs (mapping 1).
+        assert (EruConfig.full(4).row_layout().plane_placement
+                is PlanePlacement.MSB)
+        # Naive planes are contiguous regions (Fig. 3).
+        assert (EruConfig.naive(4).row_layout().plane_placement
+                is PlanePlacement.MSB)
+
+    def test_row_layout_ewlr_bits(self):
+        assert EruConfig.full(4).row_layout().ewlr_bits == 3
+        assert EruConfig.naive(4).row_layout().ewlr_bits == 0
+
+
+class TestRapHelpers:
+    def test_identity_on_left(self):
+        assert permute_plane(2, 0, 4) == 2
+
+    def test_inversion_on_right(self):
+        assert permute_plane(0b01, 1, 4) == 0b10
+        assert permute_plane(0, 1, 2) == 1
+
+    def test_single_plane_unchanged(self):
+        assert permute_plane(0, 1, 1) == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            permute_plane(4, 0, 4)
+        with pytest.raises(ValueError):
+            permute_plane(0, 2, 4)
+        with pytest.raises(ValueError):
+            permute_plane(0, 0, 3)
+
+    def test_equal_fields_never_conflict_with_rap(self):
+        for plane in range(8):
+            assert not conflicts(plane, plane, 8, rap=True)
+            assert conflicts(plane, plane, 8, rap=False)
+
+    def test_complement_fields_conflict_with_rap(self):
+        assert conflicts(0b001, 0b110, 8, rap=True)
+
+    def test_probabilities(self):
+        assert conflict_probability_random(4) == 0.25
+        assert conflict_probability_equal_fields(rap=True) == 0.0
+        assert conflict_probability_equal_fields(rap=False) == 1.0
+
+    @settings(max_examples=200)
+    @given(plane=st.integers(0, 15), n=st.sampled_from([1, 2, 4, 8, 16]))
+    def test_permutation_is_involution(self, plane, n):
+        plane %= n
+        once = permute_plane(plane, 1, n)
+        assert permute_plane(once, 1, n) == plane
+
+    @settings(max_examples=100)
+    @given(n=st.sampled_from([2, 4, 8, 16]))
+    def test_permutation_is_bijection(self, n):
+        image = {permute_plane(p, 1, n) for p in range(n)}
+        assert image == set(range(n))
+
+
+class TestEwlrHelpers:
+    LAYOUT = RowLayout(row_bits=16, plane_count=4, ewlr_bits=3)
+
+    def test_rows_per_ewlr(self):
+        assert rows_per_ewlr(self.LAYOUT) == 8
+
+    def test_vpp_constant_is_papers(self):
+        assert VPP_SAVING_FRACTION == 0.18
+
+    def test_hit_within_range(self):
+        base = 0b01 << 14
+        near = base | (0b010 << 11)
+        assert is_ewlr_hit(self.LAYOUT, base, 0, near, 1)
+
+    def test_no_hit_same_subbank(self):
+        base = 0b01 << 14
+        assert not is_ewlr_hit(self.LAYOUT, base, 0, base | (1 << 11), 0)
+
+    def test_no_hit_across_planes(self):
+        a = 0b01 << 14
+        b = 0b10 << 14
+        assert not is_ewlr_hit(self.LAYOUT, a, 0, b, 1)
+
+    def test_no_hit_different_mwl(self):
+        base = 0b01 << 14
+        assert not is_ewlr_hit(self.LAYOUT, base, 0, base | 1, 1)
+
+    def test_range_equality_is_hit_criterion(self):
+        base = 0b01 << 14
+        near = base | (0b111 << 11)
+        assert (ewlr_range(self.LAYOUT, base, 0, False)
+                == ewlr_range(self.LAYOUT, near, 1, False))
+
+    @settings(max_examples=200)
+    @given(row=st.integers(0, 0xFFFF), offset=st.integers(0, 7))
+    def test_every_row_hits_its_own_ewlr_siblings(self, row, offset):
+        layout = self.LAYOUT
+        shift = layout.row_bits - layout.plane_bits - layout.ewlr_bits
+        sibling = (row & ~(0b111 << shift)) | (offset << shift)
+        assert is_ewlr_hit(layout, row, 0, sibling, 1) == (True)

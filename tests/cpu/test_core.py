@@ -1,0 +1,188 @@
+"""Tests for the ROB-limited trace core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.core import BLOCKED, CoreConfig, TraceCore
+from repro.cpu.trace import Trace, TraceEntry
+
+CFG = CoreConfig()  # 4 GHz, width 8, ROB 192
+
+
+def trace_of(specs, tail=0):
+    return Trace.from_entries(
+        [TraceEntry(g, w, a) for g, w, a in specs],
+        tail_instructions=tail)
+
+
+class TestConfig:
+    def test_cycle_ps(self):
+        assert CFG.cycle_ps == 250
+
+    def test_instruction_time(self):
+        assert CFG.instruction_time_ps == pytest.approx(250 / 8)
+
+    def test_scaled_keeps_width(self):
+        fast = CFG.scaled(2.0)
+        assert fast.clock_hz == pytest.approx(8e9)
+        assert fast.issue_width == CFG.issue_width
+
+
+class TestRequestFlow:
+    def test_first_request_time_from_gap(self):
+        core = TraceCore(trace_of([(80, False, 0x40)]), CFG)
+        assert core.next_request_time() == int(
+            80 * CFG.instruction_time_ps)
+
+    def test_zero_gap_request_immediate(self):
+        core = TraceCore(trace_of([(0, False, 0x40)]), CFG)
+        assert core.next_request_time() == 0
+
+    def test_pop_advances_frontier(self):
+        core = TraceCore(trace_of([(8, False, 0x40), (8, True, 0x80)]),
+                         CFG)
+        t0 = core.next_request_time()
+        core.pop_request(t0)
+        t1 = core.next_request_time()
+        # 8 gap instructions plus the first access's own issue slot.
+        assert t1 == int(t0 + 9 * CFG.instruction_time_ps)
+
+    def test_pop_too_early_rejected(self):
+        core = TraceCore(trace_of([(80, False, 0x40)]), CFG)
+        with pytest.raises(ValueError):
+            core.pop_request(0)
+
+    def test_pop_blocked_rejected(self):
+        core = TraceCore(trace_of([]), CFG)
+        with pytest.raises(ValueError):
+            core.pop_request(0)
+
+    def test_exhausted_trace_blocked(self):
+        core = TraceCore(trace_of([(0, False, 0x40)]), CFG)
+        core.pop_request(0)
+        assert core.next_request_time() == BLOCKED
+
+
+class TestRobLimit:
+    def test_reads_within_window_do_not_block(self):
+        # 100 reads, 1 instruction apart: indices 1..100 < ROB 192.
+        core = TraceCore(trace_of([(0, False, i * 64)
+                                   for i in range(100)]), CFG)
+        time = 0
+        for _ in range(100):
+            t = core.next_request_time()
+            assert t != BLOCKED
+            core.pop_request(max(t, time))
+            time = max(t, time)
+        assert core.outstanding_reads == 100
+
+    def test_read_beyond_window_blocks(self):
+        # Two reads 300 instructions apart: the second needs the first
+        # retired (300 > 192), which needs its completion.
+        core = TraceCore(trace_of([(0, False, 0x40),
+                                   (300, False, 0x80)]), CFG)
+        core.pop_request(0)
+        assert core.next_request_time() == BLOCKED
+        core.complete_read(1, 5000)
+        t = core.next_request_time()
+        assert t != BLOCKED
+        assert t >= 5000  # fetch waits for the retiring read's data
+
+    def test_writes_never_block_rob(self):
+        core = TraceCore(trace_of([(0, True, 0x40),
+                                   (300, False, 0x80)]), CFG)
+        core.pop_request(0)
+        assert core.next_request_time() != BLOCKED
+
+    def test_completion_matched_by_instruction(self):
+        core = TraceCore(trace_of([(0, False, 0x40),
+                                   (0, False, 0x80)]), CFG)
+        core.pop_request(0)
+        first_index = core.instruction_index_of_last_request()
+        core.pop_request(core.next_request_time())
+        second_index = core.instruction_index_of_last_request()
+        core.complete_read(second_index, 100)  # out of order is fine
+        core.complete_read(first_index, 200)
+        assert core.done
+
+    def test_complete_unknown_read_raises(self):
+        core = TraceCore(trace_of([(0, False, 0x40)]), CFG)
+        core.pop_request(0)
+        with pytest.raises(ValueError):
+            core.complete_read(999, 100)
+
+    def test_barrier_is_sticky(self):
+        """Once fetch waited for a completion, later fetches cannot
+        travel back before it."""
+        core = TraceCore(trace_of(
+            [(0, False, 0x40), (300, False, 0x80),
+             (0, False, 0xc0)]), CFG)
+        core.pop_request(0)
+        core.complete_read(1, 9000)
+        t1 = core.next_request_time()
+        assert t1 >= 9000
+        core.pop_request(t1)
+        assert core.next_request_time() >= 9000
+
+
+class TestResults:
+    def test_finish_requires_done(self):
+        core = TraceCore(trace_of([(0, False, 0x40)]), CFG)
+        with pytest.raises(ValueError):
+            core.finish_time()
+
+    def test_finish_time_covers_last_completion(self):
+        core = TraceCore(trace_of([(0, False, 0x40)]), CFG)
+        core.pop_request(0)
+        core.complete_read(1, 123456)
+        assert core.finish_time() == 123456
+
+    def test_tail_instructions_extend_finish(self):
+        core = TraceCore(trace_of([(0, True, 0x40)], tail=800), CFG)
+        core.pop_request(0)
+        assert core.done
+        # 800 tail instructions plus the access's own issue slot.
+        import math
+        assert core.finish_time() == math.ceil(
+            801 * CFG.instruction_time_ps)
+
+    def test_ipc_bounded_by_issue_width(self):
+        core = TraceCore(trace_of([(80, True, 0x40)], tail=80), CFG)
+        core.pop_request(core.next_request_time())
+        assert core.ipc() <= CFG.issue_width + 1e-9
+
+    def test_slow_memory_lowers_ipc(self):
+        def run(latency):
+            core = TraceCore(trace_of(
+                [(0, False, 0x40), (300, True, 0x80)]), CFG)
+            core.pop_request(0)
+            core.complete_read(1, latency)
+            core.pop_request(core.next_request_time())
+            return core.ipc()
+        assert run(100_000) < run(1_000)
+
+
+@settings(max_examples=100, deadline=None)
+@given(specs=st.lists(
+    st.tuples(st.integers(0, 50), st.booleans(), st.integers(0, 2**30)),
+    min_size=1, max_size=40),
+    latency=st.integers(1000, 200_000))
+def test_core_always_terminates(specs, latency):
+    """Property: serving every read with a fixed latency finishes the
+    trace with monotone non-decreasing request times."""
+    core = TraceCore(trace_of(specs), CFG)
+    last = 0
+    while not core.done:
+        t = core.next_request_time()
+        if t == BLOCKED and core._index >= len(specs):
+            break
+        assert t != BLOCKED  # fixed-latency service never deadlocks
+        assert t >= 0
+        t = max(t, last)
+        entry = core.pop_request(t)
+        last = t
+        if not entry.is_write:
+            core.complete_read(
+                core.instruction_index_of_last_request(), t + latency)
+    assert core.finish_time() >= last

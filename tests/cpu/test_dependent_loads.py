@@ -1,0 +1,117 @@
+"""Tests for address-dependent (pointer-chase) accesses."""
+
+import io
+
+import pytest
+
+from repro.cpu.core import BLOCKED, CoreConfig, TraceCore
+from repro.cpu.trace import Trace, TraceEntry, read_trace, write_trace
+
+CFG = CoreConfig()
+
+
+def chase_trace(n, gap=0):
+    """n reads, each dependent on the previous one."""
+    return Trace.from_entries(
+        [TraceEntry(gap, False, i * 4096, depends=(i > 0))
+         for i in range(n)])
+
+
+class TestDependentSemantics:
+    def test_dependent_read_blocks_until_completion(self):
+        core = TraceCore(chase_trace(2), CFG)
+        core.pop_request(0)
+        assert core.next_request_time() == BLOCKED
+        core.complete_read(1, 70_000)
+        assert core.next_request_time() >= 70_000
+
+    def test_independent_read_does_not_block(self):
+        t = Trace.from_entries([
+            TraceEntry(0, False, 0x1000),
+            TraceEntry(0, False, 0x2000, depends=False),
+        ])
+        core = TraceCore(t, CFG)
+        core.pop_request(0)
+        assert core.next_request_time() != BLOCKED
+
+    def test_dependence_on_write_free_entry_ignored(self):
+        """A dependent access with no prior read issues normally."""
+        t = Trace.from_entries([
+            TraceEntry(0, True, 0x1000),
+            TraceEntry(0, False, 0x2000, depends=True),
+        ])
+        core = TraceCore(t, CFG)
+        core.pop_request(0)
+        assert core.next_request_time() != BLOCKED
+
+    def test_chain_serialises_latency(self):
+        def run(latency, n=10):
+            core = TraceCore(chase_trace(n), CFG)
+            now = 0
+            while not core.done:
+                t = core.next_request_time()
+                assert t != BLOCKED
+                now = max(now, t)
+                core.pop_request(now)
+                core.complete_read(
+                    core.instruction_index_of_last_request(),
+                    now + latency)
+            return core.finish_time()
+        assert run(100_000) > run(10_000) * 5
+
+    def test_dependent_write_waits_too(self):
+        t = Trace.from_entries([
+            TraceEntry(0, False, 0x1000),
+            TraceEntry(0, True, 0x2000, depends=True),
+        ])
+        core = TraceCore(t, CFG)
+        core.pop_request(0)
+        assert core.next_request_time() == BLOCKED
+        core.complete_read(1, 5000)
+        assert core.next_request_time() >= 5000
+
+
+class TestTraceFormat:
+    def test_depends_survives_roundtrip(self):
+        t = Trace.from_entries([
+            TraceEntry(3, False, 0x40, depends=True),
+            TraceEntry(0, True, 0x80),
+        ])
+        buf = io.StringIO()
+        write_trace(t, buf)
+        buf.seek(0)
+        back = read_trace(buf)
+        assert back.entries[0].depends
+        assert not back.entries[1].depends
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO("1 R 0x40 D X\n"))
+
+
+class TestGeneratorDependence:
+    def test_pointer_chasers_have_dependent_reads(self):
+        from repro.workloads.fragmentation import PhysicalMemory
+        from repro.workloads.generator import TraceGenerator
+        from repro.workloads.profiles import profile
+        pm = PhysicalMemory(1 << 34, fragmentation=0.1, seed=0)
+        t = TraceGenerator(profile("mcf"), pm, seed=0).generate(2000)
+        dependent = sum(1 for e in t.entries if e.depends)
+        assert dependent > 400  # mcf is dominated by pointer chasing
+
+    def test_streamers_mostly_independent(self):
+        from repro.workloads.fragmentation import PhysicalMemory
+        from repro.workloads.generator import TraceGenerator
+        from repro.workloads.profiles import profile
+        pm = PhysicalMemory(1 << 34, fragmentation=0.1, seed=0)
+        t = TraceGenerator(profile("lbm"), pm, seed=0).generate(2000)
+        dependent = sum(1 for e in t.entries if e.depends)
+        assert dependent < 100
+
+    def test_writes_never_dependent_sources(self):
+        from repro.workloads.fragmentation import PhysicalMemory
+        from repro.workloads.generator import TraceGenerator
+        from repro.workloads.profiles import profile
+        pm = PhysicalMemory(1 << 34, fragmentation=0.1, seed=0)
+        t = TraceGenerator(profile("mcf"), pm, seed=0).generate(500)
+        assert all(not (e.depends and e.is_write) for e in t.entries)

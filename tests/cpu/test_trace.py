@@ -1,0 +1,87 @@
+"""Tests for the trace format and (de)serialisation."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.trace import Trace, TraceEntry, read_trace, write_trace
+
+
+class TestTraceEntry:
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            TraceEntry(gap=-1, is_write=False, address=0)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            TraceEntry(gap=0, is_write=False, address=-64)
+
+
+class TestTrace:
+    def make(self):
+        return Trace.from_entries([
+            TraceEntry(10, False, 0x1000),
+            TraceEntry(5, True, 0x2000),
+            TraceEntry(0, False, 0x3000),
+        ], tail_instructions=7, name="t")
+
+    def test_len_and_iter(self):
+        t = self.make()
+        assert len(t) == 3
+        assert [e.address for e in t] == [0x1000, 0x2000, 0x3000]
+
+    def test_total_instructions_counts_accesses_and_tail(self):
+        t = self.make()
+        assert t.total_instructions == 10 + 5 + 0 + 3 + 7
+
+    def test_read_write_counts(self):
+        t = self.make()
+        assert t.reads == 2
+        assert t.writes == 1
+
+    def test_mpki(self):
+        t = self.make()
+        assert t.mpki() == pytest.approx(3000 / 25)
+
+    def test_empty_trace_mpki_zero(self):
+        assert Trace.from_entries([]).mpki() == 0.0
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        t = Trace.from_entries([
+            TraceEntry(10, False, 0x1000),
+            TraceEntry(0, True, 0xdeadbec0),
+        ], tail_instructions=3, name="x")
+        buf = io.StringIO()
+        write_trace(t, buf)
+        buf.seek(0)
+        back = read_trace(buf, name="x")
+        assert back.entries == t.entries
+        assert back.tail_instructions == 3
+
+    def test_read_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO("5 X 0x10\n"))
+
+    def test_blank_lines_ignored(self):
+        t = read_trace(io.StringIO("\n3 R 0x40\n\n"))
+        assert len(t) == 1
+
+    @settings(max_examples=100)
+    @given(entries=st.lists(
+        st.tuples(st.integers(0, 1000), st.booleans(),
+                  st.integers(0, 2**34)),
+        max_size=30), tail=st.integers(0, 100))
+    def test_roundtrip_property(self, entries, tail):
+        t = Trace.from_entries(
+            [TraceEntry(g, w, a) for g, w, a in entries],
+            tail_instructions=tail)
+        buf = io.StringIO()
+        write_trace(t, buf)
+        buf.seek(0)
+        back = read_trace(buf)
+        assert back.entries == t.entries
+        assert back.tail_instructions == tail

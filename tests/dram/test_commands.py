@@ -1,0 +1,50 @@
+"""Tests for the DRAM command vocabulary."""
+
+from repro.dram.commands import Command, CommandKind, PrechargeCause
+
+
+class TestCommandKind:
+    def test_column_commands(self):
+        assert CommandKind.RD.is_column
+        assert CommandKind.WR.is_column
+        assert not CommandKind.ACT.is_column
+        assert not CommandKind.PRE.is_column
+
+    def test_precharge_kinds(self):
+        assert CommandKind.PRE.is_precharge
+        assert CommandKind.PRE_PARTIAL.is_precharge
+        assert not CommandKind.ACT.is_precharge
+
+
+class TestCommand:
+    def test_defaults(self):
+        c = Command(CommandKind.ACT, channel=0, rank=0, bank=3, row=0x12)
+        assert c.subbank == 0
+        assert c.cause is None
+        assert c.issue_time == -1
+
+    def test_str_mentions_location(self):
+        c = Command(CommandKind.ACT, channel=1, rank=0, bank=5,
+                    subbank=1, row=0xAB)
+        s = str(c)
+        assert "ACT" in s and "bk5" in s and "0xab" in s
+
+    def test_str_for_column(self):
+        c = Command(CommandKind.RD, channel=0, rank=0, bank=2)
+        assert "RD" in str(c)
+
+    def test_cause_attached_to_precharge(self):
+        c = Command(CommandKind.PRE, channel=0, rank=0, bank=0,
+                    cause=PrechargeCause.PLANE_CONFLICT)
+        assert c.cause is PrechargeCause.PLANE_CONFLICT
+
+    def test_issue_time_not_compared(self):
+        a = Command(CommandKind.PRE, channel=0, rank=0, bank=0)
+        b = Command(CommandKind.PRE, channel=0, rank=0, bank=0)
+        b.issue_time = 999
+        assert a == b
+
+
+def test_cause_values_cover_fig13b():
+    names = {c.name for c in PrechargeCause}
+    assert names == {"ROW_CONFLICT", "PLANE_CONFLICT", "POLICY"}

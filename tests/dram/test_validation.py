@@ -1,0 +1,158 @@
+"""Cross-validation: the scheduler's output vs an independent rule set.
+
+These are the strongest correctness tests in the suite: every command
+schedule the event-driven controller produces is re-checked against a
+second, from-the-definitions implementation of the timing rules.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core.mechanisms import EruConfig
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.resources import BusPolicy
+from repro.dram.timing import ddr4_timings
+from repro.dram.validation import (
+    CommandRecord,
+    TimingViolation,
+    validate_log,
+)
+from repro.sim.config import (
+    ddr4_baseline,
+    half_dram,
+    ideal32,
+    masa,
+    masa_eruca,
+    vsb,
+)
+from repro.sim.simulator import MemorySystem, Simulator, run_traces
+from repro.cpu.core import TraceCore
+
+
+def traffic(cores=3, n=300, seed=0):
+    rng = random.Random(seed)
+    traces = []
+    for c in range(cores):
+        base = rng.randrange(0, 1 << 30) & ~63
+        entries = []
+        for i in range(n):
+            addr = (base + i * 64 if rng.random() < 0.5
+                    else rng.randrange(0, 1 << 34)) & ~63
+            entries.append(TraceEntry(rng.randrange(0, 30),
+                                      rng.random() < 0.35, addr,
+                                      depends=rng.random() < 0.2))
+        traces.append(Trace.from_entries(entries, name=f"c{c}"))
+    return traces
+
+
+def run_validated(config, traces):
+    config = replace(config, record_commands=True)
+    system = MemorySystem(config)
+    cores = [TraceCore(t, core_id=i) for i, t in enumerate(traces)]
+    Simulator(system, cores).run()
+    timing = config.timing()
+    total = 0
+    for controller in system.controllers:
+        log = controller.channel.command_log
+        assert log, "recording was enabled but the log is empty"
+        total += validate_log(log, timing, config.bus_policy)
+    return total
+
+
+CONFIGS = [
+    ddr4_baseline(),
+    ideal32(),
+    vsb(EruConfig.naive(4)),
+    vsb(EruConfig.full(4)),
+    vsb(EruConfig.full(4)).at_frequency(2.4e9),
+    half_dram(),
+    masa(8),
+    masa_eruca(8),
+    replace(ddr4_baseline(), idle_close_ps=300_000),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=[c.name for c in CONFIGS])
+def test_schedules_pass_independent_validation(config):
+    checked = run_validated(config, traffic(seed=11))
+    assert checked > 500  # a real schedule, not a trivial one
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_seeds_validate_on_eruca(seed):
+    run_validated(vsb(EruConfig.full(4)), traffic(seed=seed))
+
+
+class TestValidatorCatchesViolations:
+    """The validator must actually reject broken schedules."""
+
+    T = ddr4_timings()
+
+    def act(self, time, bank=0, slot=(0, 0), row=1, bg=0):
+        return CommandRecord("ACT", time, bank, bg, slot, row)
+
+    def test_detects_trcd_violation(self):
+        log = [self.act(0),
+               CommandRecord("RD", self.T.tRCD - 1, 0, 0, (0, 0))]
+        with pytest.raises(TimingViolation, match="tRCD"):
+            validate_log(log, self.T, BusPolicy.BANK_GROUPS)
+
+    def test_detects_tras_violation(self):
+        log = [self.act(0),
+               CommandRecord("PRE", self.T.tRAS - 1, 0, 0, (0, 0))]
+        with pytest.raises(TimingViolation, match="tRAS"):
+            validate_log(log, self.T, BusPolicy.BANK_GROUPS)
+
+    def test_detects_trrd_violation(self):
+        log = [self.act(0, bank=0), self.act(1, bank=1)]
+        with pytest.raises(TimingViolation, match="tRRD"):
+            validate_log(log, self.T, BusPolicy.BANK_GROUPS)
+
+    def test_detects_tccd_l_violation(self):
+        t = self.T
+        log = [self.act(0, bank=0), self.act(t.tRRD, bank=1),
+               CommandRecord("RD", t.tRCD, 0, 0, (0, 0)),
+               CommandRecord("RD", t.tRCD + t.tCCD_S, 1, 0, (0, 0))]
+        with pytest.raises(TimingViolation, match="tCCD_L"):
+            validate_log(log, t, BusPolicy.BANK_GROUPS)
+
+    def test_ideal_allows_tccd_s_in_group(self):
+        t = self.T
+        log = [self.act(0, bank=0), self.act(t.tRRD, bank=1),
+               CommandRecord("RD", t.tRCD, 0, 0, (0, 0)),
+               CommandRecord("RD", t.tRCD + t.tCCD_S, 1, 0, (0, 0))]
+        assert validate_log(log, t, BusPolicy.NO_GROUPS) == 4
+
+    def test_detects_column_to_closed_row(self):
+        log = [CommandRecord("RD", 0, 0, 0, (0, 0))]
+        with pytest.raises(TimingViolation, match="closed"):
+            validate_log(log, self.T, BusPolicy.BANK_GROUPS)
+
+    def test_detects_double_activation(self):
+        log = [self.act(0), self.act(self.T.tRC, row=2)]
+        with pytest.raises(TimingViolation, match="open slot"):
+            validate_log(log, self.T, BusPolicy.BANK_GROUPS)
+
+    def test_detects_ttcw_violation(self):
+        t = ddr4_timings(2.4e9).with_ddb_windows()
+        log = [self.act(0, bank=0)]
+        base = t.tRCD
+        for i, bank in enumerate((0, 1, 2)):
+            log.append(self.act(t.tRRD * (i + 1), bank=bank,
+                                row=1))
+        log = [self.act(t.tRRD * i, bank=b)
+               for i, b in enumerate((0, 1, 2))]
+        start = 3 * t.tRRD + t.tRCD
+        for i, bank in enumerate((0, 1, 2)):
+            log.append(CommandRecord(
+                "RD", start + i * t.tCCD_S, bank, 0, (0, 0)))
+        with pytest.raises(TimingViolation, match="tTCW"):
+            validate_log(log, t, BusPolicy.DDB)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            validate_log([CommandRecord("NOP", 0, 0, 0, (0, 0))],
+                         self.T, BusPolicy.BANK_GROUPS)

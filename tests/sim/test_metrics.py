@@ -1,0 +1,86 @@
+"""Tests for metric helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import gmean, normalized, quartiles, weighted_speedup
+
+
+class TestWeightedSpeedup:
+    def test_equal_ipcs_give_core_count(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(
+            2.0)
+
+    def test_slowdown_reflected(self):
+        assert weighted_speedup([0.5], [1.0]) == pytest.approx(0.5)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+    def test_zero_alone_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestNormalized:
+    def test_baseline_becomes_one(self):
+        out = normalized({"a": 2.0, "b": 3.0}, "a")
+        assert out["a"] == 1.0
+        assert out["b"] == 1.5
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            normalized({"a": 2.0}, "zzz")
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalized({"a": 0.0}, "a")
+
+
+class TestGmean:
+    def test_single_value(self):
+        assert gmean([3.0]) == pytest.approx(3.0)
+
+    def test_classic(self):
+        assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gmean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])
+
+    @settings(max_examples=100)
+    @given(values=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = gmean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestQuartiles:
+    def test_basic(self):
+        q = quartiles(list(range(1, 101)))
+        assert q["mean"] == pytest.approx(50.5)
+        assert q["q1"] == pytest.approx(26)
+        assert q["median"] == pytest.approx(51)
+        assert q["q3"] == pytest.approx(76)
+
+    def test_single_sample(self):
+        q = quartiles([42])
+        assert q["mean"] == q["median"] == 42
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quartiles([])
+
+    def test_unsorted_input(self):
+        q = quartiles([3, 1, 2])
+        assert q["median"] == 2

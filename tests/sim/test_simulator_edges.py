@@ -1,0 +1,84 @@
+"""Edge-case tests for the simulator event loop."""
+
+import pytest
+
+from repro.controller.mapping import AddressMapping, MappingConfig
+from repro.cpu.core import CoreConfig, TraceCore
+from repro.cpu.trace import Trace, TraceEntry
+from repro.sim.config import ddr4_baseline
+from repro.sim.simulator import (
+    DeadlockError,
+    MemorySystem,
+    Simulator,
+    run_traces,
+)
+
+
+def seq_trace(n, gap=20):
+    return Trace.from_entries(
+        [TraceEntry(gap, False, i * 64) for i in range(n)])
+
+
+class TestLimits:
+    def test_max_commands_raises_deadlock_error(self):
+        system = MemorySystem(ddr4_baseline())
+        cores = [TraceCore(seq_trace(100), CoreConfig(), core_id=0)]
+        with pytest.raises(DeadlockError):
+            Simulator(system, cores).run(max_commands=3)
+
+    def test_write_only_trace_completes(self):
+        t = Trace.from_entries(
+            [TraceEntry(10, True, i * 64) for i in range(100)])
+        res = run_traces(ddr4_baseline(), [t])
+        assert res.energy.writes == 100
+        assert res.stats.read_latencies == []
+
+    def test_single_access_trace(self):
+        t = Trace.from_entries([TraceEntry(0, False, 0)])
+        res = run_traces(ddr4_baseline(), [t])
+        assert res.stats.columns == 1
+
+    def test_zero_gap_burst(self):
+        t = Trace.from_entries(
+            [TraceEntry(0, False, i * 64) for i in range(64)])
+        res = run_traces(ddr4_baseline(), [t])
+        assert res.stats.columns == 64
+
+
+class TestHeterogeneousCores:
+    def test_cores_with_different_lengths(self):
+        a = seq_trace(200)
+        b = seq_trace(20)
+        res = run_traces(ddr4_baseline(), [a, b])
+        assert len(res.finish_times) == 2
+        assert res.finish_times[0] > res.finish_times[1]
+
+    def test_idle_core_with_empty_trace(self):
+        res = run_traces(ddr4_baseline(),
+                         [seq_trace(50), Trace.from_entries([])])
+        assert res.stats.columns == 50
+        assert res.ipcs[1] == CoreConfig().issue_width  # trivially done
+
+
+class TestMappingVariants:
+    def test_subbank_high_roundtrip(self):
+        cfg = MappingConfig(subbank_bits=1, row_bits=16,
+                            col_hi_bits=3, subbank_low=False)
+        m = AddressMapping(cfg)
+        for addr in (0, 0x4040, cfg.capacity_bytes - 64):
+            addr &= ~63
+            assert m.encode(m.decode(addr)) == addr
+
+    def test_subbank_position_changes_interleave(self):
+        low = AddressMapping(MappingConfig(
+            subbank_bits=1, row_bits=16, col_hi_bits=3,
+            subbank_low=True))
+        high = AddressMapping(MappingConfig(
+            subbank_bits=1, row_bits=16, col_hi_bits=3,
+            subbank_low=False))
+        # Walking 8 KiB of consecutive lines flips the sub-bank under
+        # the low placement (bit 12) but not under the high placement.
+        low_ids = {low.decode(i * 64).subbank for i in range(128)}
+        high_ids = {high.decode(i * 64).subbank for i in range(128)}
+        assert low_ids == {0, 1}
+        assert high_ids == {0}

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import CONFIG_FACTORIES, build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for cmd in ("list", "fig11"):
+            args = parser.parse_args([cmd])
+            assert callable(args.func)
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.config == "vsb"
+        assert args.mix == "mix0"
+        assert args.accesses == 1500
+
+    def test_fig12_mixes_option(self):
+        args = build_parser().parse_args(
+            ["fig12", "--mixes", "mix1,mix2", "--accesses", "100"])
+        assert args.mixes == "mix1,mix2"
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--config", "zzz"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestFactories:
+    def test_every_factory_builds(self):
+        for name, factory in CONFIG_FACTORIES.items():
+            assert factory().name
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "vsb" in out and "mix8" in out and "fig12" in out
+
+    def test_fig11(self, capsys):
+        main(["fig11"])
+        out = capsys.readouterr().out
+        assert "DDB+EWLR+RAP" in out
+        assert "MASA8" in out
+
+    def test_run_small(self, capsys):
+        main(["run", "--config", "ddr4", "--mix", "mix6",
+              "--accesses", "120"])
+        out = capsys.readouterr().out
+        assert "row-hit rate" in out
+        assert "IPC per core" in out
+
+    def test_fig4_small(self, capsys):
+        main(["fig4", "--accesses", "300"])
+        out = capsys.readouterr().out
+        assert "planes" in out
+
+    def test_fig12_tiny(self, capsys):
+        main(["fig12", "--mixes", "mix6", "--accesses", "200"])
+        out = capsys.readouterr().out
+        assert "GMEAN" in out
+        assert "Ideal32" in out
+
+    def test_bad_mix_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig12", "--mixes", "nope", "--accesses", "100"])

@@ -1,0 +1,109 @@
+"""Cross-configuration integration tests.
+
+Every organisation the paper evaluates must run arbitrary traffic to
+completion: the device model raises on any timing-rule violation, so a
+completed run certifies command-schedule legality.
+"""
+
+import random
+
+import pytest
+
+from repro.core.mechanisms import EruConfig
+from repro.cpu.trace import Trace, TraceEntry
+from repro.sim.config import (
+    bg32,
+    ddr4_baseline,
+    half_dram,
+    ideal32,
+    masa,
+    masa_eruca,
+    paired_bank,
+    vsb,
+)
+from repro.sim.simulator import run_traces
+
+ALL_CONFIGS = [
+    ddr4_baseline(),
+    bg32(),
+    ideal32(),
+    vsb(EruConfig.naive(2)),
+    vsb(EruConfig.naive(16)),
+    vsb(EruConfig.naive_ddb(4)),
+    vsb(EruConfig.ewlr_only(4)),
+    vsb(EruConfig.rap_only(4)),
+    vsb(EruConfig.full(2)),
+    vsb(EruConfig.full(4)),
+    paired_bank(),
+    paired_bank(EruConfig.full(4, ddb=False)),
+    half_dram(),
+    masa(4),
+    masa(8),
+    masa_eruca(8),
+    masa_eruca(8, ddb=False),
+    vsb(EruConfig.full(4)).at_frequency(2.4e9),
+    ideal32().at_frequency(2.4e9),
+    ddr4_baseline().at_frequency(2.0e9),
+]
+
+
+def mixed_traffic(cores=2, n=250, seed=0):
+    rng = random.Random(seed)
+    traces = []
+    for c in range(cores):
+        base = rng.randrange(0, 1 << 30) & ~63
+        entries = []
+        for i in range(n):
+            if rng.random() < 0.5:
+                addr = (base + i * 64) & ((1 << 34) - 64)
+            else:
+                addr = rng.randrange(0, 1 << 34) & ~63
+            entries.append(TraceEntry(rng.randrange(0, 40),
+                                      rng.random() < 0.35, addr))
+        traces.append(Trace.from_entries(entries, name=f"c{c}"))
+    return traces
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS,
+                         ids=[c.name for c in ALL_CONFIGS])
+def test_config_completes_mixed_traffic(config):
+    traces = mixed_traffic()
+    result = run_traces(config, traces)
+    assert result.stats.columns == sum(len(t) for t in traces)
+    assert all(ipc > 0 for ipc in result.ipcs)
+    assert result.elapsed_ps > 0
+    # Internal consistency of the counters.
+    assert result.energy.reads + result.energy.writes == \
+        result.stats.columns
+    assert result.stats.ewlr_hits <= result.stats.acts
+    assert result.energy.precharges == result.stats.precharges
+    assert sum(result.precharge_causes.values()) == result.stats.precharges
+
+
+@pytest.mark.parametrize("config", ALL_CONFIGS[:6],
+                         ids=[c.name for c in ALL_CONFIGS[:6]])
+def test_latencies_above_device_floor(config):
+    t = config.timing()
+    result = run_traces(config, mixed_traffic(seed=3))
+    floor = t.tCL + t.burst_time
+    assert min(result.stats.read_latencies) >= floor
+
+
+def test_full_eruca_never_slower_than_naive_on_average():
+    """Aggregate sanity across seeds: conflict avoidance should not lose."""
+    naive_total, full_total = 0.0, 0.0
+    for seed in range(3):
+        traces = mixed_traffic(cores=4, n=200, seed=seed)
+        naive_total += sum(run_traces(vsb(EruConfig.naive(4)),
+                                      traces).ipcs)
+        full_total += sum(run_traces(vsb(EruConfig.full(4)),
+                                     traces).ipcs)
+    assert full_total >= naive_total * 0.97
+
+
+def test_subbanked_configs_open_two_rows_per_bank():
+    traces = mixed_traffic(cores=4, n=300, seed=5)
+    result = run_traces(vsb(EruConfig.full(4)), traces)
+    flat = run_traces(ddr4_baseline(), traces)
+    # Same traffic, same capacity: both serve all columns.
+    assert result.stats.columns == flat.stats.columns

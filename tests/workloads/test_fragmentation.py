@@ -1,0 +1,150 @@
+"""Tests for the fragmentation-aware physical allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.fragmentation import (
+    FRAMES_PER_HUGE,
+    HUGE_SIZE,
+    PAGE_SIZE,
+    OutOfMemoryError,
+    PhysicalMemory,
+    VirtualMemory,
+)
+
+
+class TestPhysicalMemory:
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(total_bytes=HUGE_SIZE + 1)
+
+    def test_rejects_bad_fragmentation(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(fragmentation=1.5)
+
+    def test_zero_fragmentation_always_huge(self):
+        pm = PhysicalMemory(1 << 28, fragmentation=0.0, seed=1)
+        for _ in range(50):
+            base = pm.allocate_huge()
+            assert base is not None
+            assert base % HUGE_SIZE == 0
+
+    def test_full_fragmentation_never_huge(self):
+        pm = PhysicalMemory(1 << 28, fragmentation=1.0, seed=1)
+        assert all(pm.allocate_huge() is None for _ in range(50))
+
+    def test_huge_allocations_unique(self):
+        pm = PhysicalMemory(1 << 28, fragmentation=0.0, seed=2)
+        bases = [pm.allocate_huge() for _ in range(100)]
+        assert len(set(bases)) == 100
+
+    def test_frames_unique_and_aligned(self):
+        pm = PhysicalMemory(1 << 26, fragmentation=0.5, seed=3)
+        frames = [pm.allocate_frame() for _ in range(2000)]
+        assert len(set(frames)) == 2000
+        assert all(f % PAGE_SIZE == 0 for f in frames)
+
+    def test_exhaustion_raises(self):
+        pm = PhysicalMemory(HUGE_SIZE * 2, fragmentation=0.0, seed=0)
+        pm.allocate_huge()
+        pm.allocate_huge()
+        with pytest.raises(OutOfMemoryError):
+            pm.allocate_huge()
+
+    def test_owner_bands_cluster(self):
+        """Per-owner allocations are mostly contiguous (region-1 source)."""
+        pm = PhysicalMemory(1 << 34, fragmentation=0.0, seed=4,
+                            jump_probability=0.0)
+        bases = [pm.allocate_huge(owner=7) for _ in range(50)]
+        deltas = [b - a for a, b in zip(bases, bases[1:])]
+        assert all(d == HUGE_SIZE for d in deltas)
+
+    def test_distinct_owners_get_distinct_bands(self):
+        pm = PhysicalMemory(1 << 34, fragmentation=0.0, seed=5,
+                            jump_probability=0.0)
+        a = pm.allocate_huge(owner=0)
+        b = pm.allocate_huge(owner=1)
+        assert abs(a - b) > HUGE_SIZE  # almost surely far apart
+
+    def test_jumps_break_bands(self):
+        pm = PhysicalMemory(1 << 34, fragmentation=0.0, seed=6,
+                            jump_probability=1.0)
+        bases = [pm.allocate_huge(owner=0) for _ in range(50)]
+        deltas = [abs(b - a) for a, b in zip(bases, bases[1:])]
+        assert any(d != HUGE_SIZE for d in deltas)
+
+    def test_frames_allocated_counter(self):
+        pm = PhysicalMemory(1 << 26, fragmentation=0.0, seed=0)
+        pm.allocate_huge()
+        assert pm.frames_allocated == FRAMES_PER_HUGE
+        pm2 = PhysicalMemory(1 << 26, fragmentation=1.0, seed=0)
+        pm2.allocate_frame()
+        assert pm2.frames_allocated == 1
+
+
+class TestVirtualMemory:
+    def test_translation_deterministic(self):
+        pm = PhysicalMemory(1 << 28, fragmentation=0.3, seed=0)
+        vm = VirtualMemory(pm)
+        a = vm.translate(0x12345)
+        assert vm.translate(0x12345) == a
+
+    def test_offset_preserved_within_page(self):
+        pm = PhysicalMemory(1 << 28, fragmentation=1.0, seed=0)
+        vm = VirtualMemory(pm)
+        base = vm.translate(0x4000)
+        assert vm.translate(0x4040) == base + 0x40
+
+    def test_huge_region_contiguous(self):
+        pm = PhysicalMemory(1 << 28, fragmentation=0.0, seed=0)
+        vm = VirtualMemory(pm)
+        first = vm.translate(0)
+        assert vm.translate(HUGE_SIZE - 64) == first + HUGE_SIZE - 64
+        assert vm.huge_regions == 1
+
+    def test_fragmented_region_scatters(self):
+        pm = PhysicalMemory(1 << 28, fragmentation=1.0, seed=0)
+        vm = VirtualMemory(pm)
+        a = vm.translate(0)
+        b = vm.translate(PAGE_SIZE)
+        assert abs(b - a) != PAGE_SIZE or (b - a) == PAGE_SIZE
+        assert vm.fragmented_regions == 1
+
+    def test_negative_vaddr_rejected(self):
+        pm = PhysicalMemory(1 << 28, fragmentation=0.0)
+        with pytest.raises(ValueError):
+            VirtualMemory(pm).translate(-1)
+
+    def test_huge_page_rate(self):
+        pm = PhysicalMemory(1 << 30, fragmentation=0.0, seed=0)
+        vm = VirtualMemory(pm)
+        for region in range(10):
+            vm.translate(region * HUGE_SIZE)
+        assert vm.huge_page_rate == 1.0
+
+    def test_huge_page_rate_matches_fragmentation(self):
+        pm = PhysicalMemory(1 << 34, fragmentation=0.5, seed=42)
+        vm = VirtualMemory(pm)
+        for region in range(400):
+            vm.translate(region * HUGE_SIZE)
+        assert 0.35 < vm.huge_page_rate < 0.65
+
+    def test_empty_vm_rate_zero(self):
+        pm = PhysicalMemory(1 << 28)
+        assert VirtualMemory(pm).huge_page_rate == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    frag=st.floats(0.0, 1.0),
+    vaddrs=st.lists(st.integers(0, (1 << 28) - 64), min_size=1,
+                    max_size=100),
+)
+def test_translation_is_injective_per_line(frag, vaddrs):
+    """Property: distinct cache lines never map to the same frame+offset."""
+    pm = PhysicalMemory(1 << 32, fragmentation=frag, seed=9)
+    vm = VirtualMemory(pm)
+    lines = {v & ~63 for v in vaddrs}
+    physical = {line: vm.translate(line) for line in lines}
+    assert len(set(physical.values())) == len(lines)

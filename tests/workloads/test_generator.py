@@ -1,0 +1,176 @@
+"""Tests for trace generation, profiles and mixes."""
+
+import pytest
+
+from repro.workloads.fragmentation import PhysicalMemory
+from repro.workloads.generator import (
+    ROW_SPAN_BYTES,
+    StreamCursor,
+    TraceGenerator,
+    generate_traces,
+)
+from repro.workloads.mixes import (
+    MIXES,
+    MIX_NAMES,
+    benchmark_names,
+    mix_intensity,
+    mix_profiles,
+    mix_traces,
+)
+from repro.workloads.profiles import PROFILES, BenchmarkProfile, profile
+
+import random
+
+
+class TestProfiles:
+    def test_all_ten_benchmarks_present(self):
+        assert len(PROFILES) == 10
+        assert "mcf" in PROFILES and "cactusADM" in PROFILES
+
+    def test_intensity_classes_match_tab3(self):
+        high = {"mcf", "lbm", "gemsFDTD", "omnetpp", "soplex"}
+        for name, prof in PROFILES.items():
+            expected = "H" if name in high else "M"
+            assert prof.intensity == expected, name
+
+    def test_mean_gap_from_mpki(self):
+        p = profile("mcf")
+        assert p.mean_gap == pytest.approx(1000 / p.mpki - 1)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            profile("doom")
+
+    def test_validation_rejects_bad_mpki(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", mpki=0, intensity="H", footprint_mb=1,
+                             stream_fraction=0.5, stream_count=1,
+                             hot_fraction=0.5, hot_set=0.1,
+                             write_fraction=0.3)
+
+    def test_validation_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile("x", mpki=10, intensity="H", footprint_mb=1,
+                             stream_fraction=1.5, stream_count=1,
+                             hot_fraction=0.5, hot_set=0.1,
+                             write_fraction=0.3)
+
+
+class TestStreamCursor:
+    def test_sequential_walk(self):
+        rng = random.Random(0)
+        c = StreamCursor(rng, 1 << 20)
+        a, b = c.next(), c.next()
+        assert b == a + 64
+
+    def test_wraps_inside_footprint(self):
+        rng = random.Random(0)
+        c = StreamCursor(rng, 1 << 12)
+        for _ in range(200):
+            assert 0 <= c.next() < (1 << 12)
+
+    def test_partner_starts_rows_away(self):
+        rng = random.Random(3)
+        lead = StreamCursor(rng, 1 << 28)
+        follow = StreamCursor(rng, 1 << 28, partner=lead)
+        delta = follow.position - lead.position
+        if delta < 0:
+            delta += 1 << 28
+        assert 0 < delta <= 8 * ROW_SPAN_BYTES + 128 * 64
+
+
+class TestTraceGenerator:
+    def make(self, name="lbm", frag=0.1, seed=0):
+        pm = PhysicalMemory(1 << 34, fragmentation=frag, seed=seed)
+        return TraceGenerator(profile(name), pm, seed=seed)
+
+    def test_generates_requested_count(self):
+        t = self.make().generate(500)
+        assert len(t) == 500
+
+    def test_addresses_line_aligned(self):
+        t = self.make().generate(300)
+        assert all(e.address % 64 == 0 for e in t)
+
+    def test_mpki_close_to_profile(self):
+        t = self.make("lbm").generate(4000)
+        assert t.mpki() == pytest.approx(profile("lbm").mpki, rel=0.2)
+
+    def test_write_fraction_close_to_profile(self):
+        t = self.make("lbm").generate(4000)
+        assert t.writes / len(t) == pytest.approx(
+            profile("lbm").write_fraction, abs=0.05)
+
+    def test_deterministic_for_seed(self):
+        a = self.make(seed=5).generate(200)
+        b = self.make(seed=5).generate(200)
+        assert a.entries == b.entries
+
+    def test_different_seeds_differ(self):
+        a = self.make(seed=5).generate(200)
+        b = self.make(seed=6).generate(200)
+        assert a.entries != b.entries
+
+    def test_streaming_app_has_spatial_locality(self):
+        t = self.make("lbm").generate(2000)
+        adjacent = sum(
+            1 for x, y in zip(t.entries, t.entries[1:])
+            if abs(y.address - x.address) <= 128)
+        assert adjacent > 200  # plenty of sequential pairs
+
+    def test_random_app_has_little_spatial_locality(self):
+        t = self.make("mcf").generate(2000)
+        adjacent = sum(
+            1 for x, y in zip(t.entries, t.entries[1:])
+            if abs(y.address - x.address) <= 128)
+        assert adjacent < 400
+
+
+class TestFragmentationEffect:
+    def high_bit_stability(self, frag):
+        pm = PhysicalMemory(1 << 34, fragmentation=frag, seed=1)
+        gen = TraceGenerator(profile("lbm"), pm, seed=1)
+        t = gen.generate(2000)
+        tops = [e.address >> 30 for e in t.entries]
+        same = sum(1 for a, b in zip(tops, tops[1:]) if a == b)
+        return same / len(tops)
+
+    def test_fragmentation_reduces_high_order_locality(self):
+        assert self.high_bit_stability(0.1) > self.high_bit_stability(0.9)
+
+
+class TestMixes:
+    def test_nine_mixes(self):
+        assert len(MIX_NAMES) == 9
+        assert MIX_NAMES[0] == "mix0"
+
+    def test_mixes_match_tab3(self):
+        names, sig = MIXES["mix0"]
+        assert names == ("mcf", "lbm", "omnetpp", "gemsFDTD")
+        assert sig == "H:H:H:H"
+        assert mix_intensity("mix8") == "M:M:M:M"
+
+    def test_mix_profiles_resolve(self):
+        profs = mix_profiles("mix4")
+        assert [p.name for p in profs] == list(MIXES["mix4"][0])
+
+    def test_unknown_mix_raises(self):
+        with pytest.raises(KeyError):
+            mix_profiles("mix99")
+
+    def test_mix_traces_four_cores(self):
+        traces = mix_traces("mix7", accesses_per_core=100, seed=0)
+        assert len(traces) == 4
+        assert all(len(t) == 100 for t in traces)
+
+    def test_benchmark_names_cover_all(self):
+        names = benchmark_names()
+        assert set(names) == set(PROFILES)
+
+    def test_generate_traces_shares_physical_memory(self):
+        traces = generate_traces(mix_profiles("mix0"), 200, seed=0)
+        # Different programs must not map to identical physical lines.
+        seen = [set(e.address for e in t.entries) for t in traces]
+        for i in range(len(seen)):
+            for j in range(i + 1, len(seen)):
+                assert not (seen[i] & seen[j])
