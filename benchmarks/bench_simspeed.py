@@ -1,0 +1,98 @@
+"""Simulator throughput: incremental scheduling + parallel grid runner.
+
+Not a paper figure: this quantifies the two optimisation layers on a
+quick Fig. 12 grid --
+
+* **reference serial**: the rebuild-every-candidate-every-peek scheduler
+  path (the original algorithm, kept as the equivalence oracle), one
+  process;
+* **optimised**: the incremental per-bank candidate cache plus
+  ``REPRO_BENCH_JOBS`` worker processes (at least 4 for this bench).
+
+Both phases start from a cold alone-IPC cache and must produce the
+exact same speedup table; the wall-clock ratio and the scheduler's
+perf counters (peeks vs. candidates built) are printed and recorded.
+"""
+
+import os
+import time
+
+from conftest import bench_jobs, bench_mixes, print_header
+
+import repro.controller.scheduler as scheduler_mod
+from repro.sim.experiments import (
+    ExperimentContext,
+    ExperimentSettings,
+    fig12,
+)
+
+
+def _accesses() -> int:
+    # A lighter default than the figure benches: this grid runs twice.
+    return int(os.environ.get("REPRO_BENCH_ACCESSES", "800"))
+
+
+def _run_grid_phase(jobs: int, incremental: bool, cache_dir: str,
+                    rounds: int = 2):
+    """Best-of-``rounds`` timed fig12 grid under one scheduler path.
+
+    The minimum over a couple of rounds filters scheduler noise on
+    loaded CI boxes; results and counters are deterministic across
+    rounds, so any round's table stands for all of them.
+    """
+    old_mode = scheduler_mod.INCREMENTAL_DEFAULT
+    old_cache = os.environ.get("REPRO_CACHE_DIR")
+    scheduler_mod.INCREMENTAL_DEFAULT = incremental
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    try:
+        elapsed = float("inf")
+        for _ in range(rounds):
+            context = ExperimentContext(ExperimentSettings(
+                accesses_per_core=_accesses(), mixes=bench_mixes()),
+                jobs=jobs)
+            start = time.perf_counter()
+            table = fig12(context)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        peeks = candidates = 0
+        for result in context._result_cache.values():
+            peeks += result.stats.peeks
+            candidates += result.stats.candidates_built
+        return elapsed, table, peeks, candidates
+    finally:
+        scheduler_mod.INCREMENTAL_DEFAULT = old_mode
+        if old_cache is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old_cache
+
+
+def test_simspeed_fig12_grid(benchmark, tmp_path):
+    jobs = max(bench_jobs(), 4)
+
+    def compare():
+        ref = _run_grid_phase(1, False, str(tmp_path / "ref_cache"))
+        opt = _run_grid_phase(jobs, True, str(tmp_path / "opt_cache"))
+        return ref, opt
+
+    ref, opt = benchmark.pedantic(compare, rounds=1, iterations=1)
+    ref_time, ref_table, ref_peeks, ref_cands = ref
+    opt_time, opt_table, opt_peeks, opt_cands = opt
+    speedup = ref_time / opt_time
+
+    print_header("Simulator speed: quick Fig. 12 grid "
+                 f"({_accesses()} accesses, {len(bench_mixes())} mixes)")
+    print(f"reference serial      {ref_time:7.2f}s   "
+          f"peeks={ref_peeks:9d} candidates_built={ref_cands:9d}")
+    print(f"optimised --jobs {jobs:<2d}   {opt_time:7.2f}s   "
+          f"peeks={opt_peeks:9d} candidates_built={opt_cands:9d}")
+    print(f"speedup               {speedup:7.2f}x   "
+          f"(candidate builds cut {ref_cands / max(1, opt_cands):.1f}x)")
+
+    # Identical science: the optimisations must not move a single value.
+    assert opt_table.values == ref_table.values
+    # The incremental path peeks exactly as often but rebuilds far less.
+    assert opt_peeks == ref_peeks
+    assert opt_cands < ref_cands / 2
+    # Conservative wall-clock floor (single-core CI boxes see most of
+    # the win from the scheduler alone; multi-core machines far more).
+    assert speedup >= 1.2

@@ -11,6 +11,9 @@ runs and fuller reproductions:
     Comma-separated mix subset for the sweep-heavy figures (default
     ``mix0,mix3,mix6`` -- one mix per intensity class).  Fig. 12 always
     runs all nine mixes.
+``REPRO_BENCH_JOBS``
+    Worker processes for the experiment grids (default 1 = serial,
+    0 = all cores); see :mod:`repro.sim.parallel`.
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
 reproduced tables.
@@ -21,6 +24,7 @@ import os
 import pytest
 
 from repro.sim.experiments import ExperimentContext, ExperimentSettings
+from repro.sim.parallel import default_workers
 from repro.workloads.mixes import MIX_NAMES
 
 
@@ -37,18 +41,25 @@ def bench_mixes() -> tuple:
     return mixes
 
 
+def bench_jobs() -> int:
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return default_workers() if jobs <= 0 else jobs
+
+
 @pytest.fixture(scope="session")
 def sweep_context():
     """Context for the sweep figures (13/14/15/16): subset of mixes."""
     return ExperimentContext(ExperimentSettings(
-        accesses_per_core=bench_accesses(), mixes=bench_mixes()))
+        accesses_per_core=bench_accesses(), mixes=bench_mixes()),
+        jobs=bench_jobs())
 
 
 @pytest.fixture(scope="session")
 def full_context():
     """Context for Fig. 12: all nine mixes."""
     return ExperimentContext(ExperimentSettings(
-        accesses_per_core=bench_accesses(), mixes=MIX_NAMES))
+        accesses_per_core=bench_accesses(), mixes=MIX_NAMES),
+        jobs=bench_jobs())
 
 
 def print_header(title: str) -> None:

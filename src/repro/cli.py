@@ -56,6 +56,14 @@ def _settings(args) -> ExperimentSettings:
                               seed=args.seed, mixes=mixes)
 
 
+def _context(args) -> ExperimentContext:
+    from repro.sim.parallel import default_workers
+    jobs = getattr(args, "jobs", 1)
+    if jobs <= 0:
+        jobs = default_workers()
+    return ExperimentContext(_settings(args), jobs=jobs)
+
+
 def cmd_list(args) -> None:
     print("configurations:")
     for name in CONFIG_FACTORIES:
@@ -115,7 +123,7 @@ def cmd_fig11(args) -> None:
 
 
 def cmd_fig12(args) -> None:
-    context = ExperimentContext(_settings(args))
+    context = _context(args)
     table = fig12(context)
     norm = table.normalized()
     gmeans = table.gmeans()
@@ -128,7 +136,7 @@ def cmd_fig12(args) -> None:
 
 
 def cmd_fig13(args) -> None:
-    context = ExperimentContext(_settings(args))
+    context = _context(args)
     for p in fig13(context):
         print(f"{p.scheme:22s} {p.planes:2d}P frag={p.fragmentation:3.0%} "
               f"ws={p.normalized_ws:5.3f} "
@@ -137,20 +145,20 @@ def cmd_fig13(args) -> None:
 
 
 def cmd_fig14(args) -> None:
-    context = ExperimentContext(_settings(args))
+    context = _context(args)
     for p in fig14(context):
         print(f"{p.config:30s} {p.bus_frequency_hz / 1e9:4.2f}GHz "
               f"ws={p.normalized_ws:5.3f}")
 
 
 def cmd_fig15(args) -> None:
-    context = ExperimentContext(_settings(args))
+    context = _context(args)
     for name, value in fig15(context).items():
         print(f"{name:36s} {value:6.3f}")
 
 
 def cmd_fig16(args) -> None:
-    context = ExperimentContext(_settings(args))
+    context = _context(args)
     rows = fig16(context)
     base = rows[0]
     for row in rows:
@@ -174,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fragmentation", type=float, default=0.1,
                        help="FMFI level in [0,1] (default 0.1)")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the experiment grid "
+                            "(default 1 = serial; 0 = all cores)")
         return p
 
     sub.add_parser("list", help="configurations, mixes, experiments"

@@ -30,6 +30,11 @@ class ControllerStats:
     precharges: int = 0
     #: Read queueing latencies (arrival -> data end), ps. Fig. 16a.
     read_latencies: List[int] = field(default_factory=list)
+    #: Perf counters: scheduler peeks and candidate proposals built.
+    #: peeks/candidates_built stay flat while commands_issued grows when
+    #: the incremental candidate cache is doing its job.
+    peeks: int = 0
+    candidates_built: int = 0
 
     def merge(self, other: "ControllerStats") -> None:
         self.commands_issued += other.commands_issued
@@ -38,6 +43,8 @@ class ControllerStats:
         self.columns += other.columns
         self.precharges += other.precharges
         self.read_latencies.extend(other.read_latencies)
+        self.peeks += other.peeks
+        self.candidates_built += other.candidates_built
 
 
 class ChannelController:
@@ -58,6 +65,7 @@ class ChannelController:
 
     def enqueue(self, txn: Transaction, time: int) -> None:
         self.queues.enqueue(txn, time)
+        self.scheduler.note_enqueue(txn)
 
     def pending(self) -> bool:
         return self.queues.pending()
@@ -66,7 +74,10 @@ class ChannelController:
 
     def peek(self, now: int) -> Optional[Candidate]:
         """The command this channel would issue next, or None if idle."""
-        return self.scheduler.best(now)
+        cand = self.scheduler.best(now)
+        self.stats.peeks = self.scheduler.peeks
+        self.stats.candidates_built = self.scheduler.candidates_built
+        return cand
 
     def commit(self, candidate: Candidate) -> List[Transaction]:
         """Issue the candidate; returns transactions completed by it."""
@@ -77,11 +88,13 @@ class ChannelController:
             bank_index, slot = candidate.victim
             self.channel.issue_precharge(bank_index, slot, time,
                                          candidate.cause)
+            self.scheduler.note_bank_change(bank_index)
             self.stats.precharges += 1
             return []
         c = txn.coords
         if candidate.kind is CommandKind.ACT:
             ewlr_hit = self.channel.issue_act(c, time)
+            self.scheduler.note_bank_change(txn.bank_index)
             self.stats.acts += 1
             if ewlr_hit:
                 self.stats.ewlr_hits += 1
@@ -90,6 +103,7 @@ class ChannelController:
         data_end = self.channel.issue_column(c, time, is_write)
         txn.completion_time = data_end
         self.queues.remove(txn)
+        self.scheduler.note_remove(txn)
         self.stats.columns += 1
         if txn.is_read:
             self.stats.read_latencies.append(txn.queueing_latency)

@@ -11,12 +11,30 @@ ordering: among the candidates that can issue soonest, row-buffer hits win,
 then older transactions.  A precharge that would close a row other, older
 transactions still hit on is suppressed (anti-thrashing guard), which also
 prevents inter-transaction livelock.
+
+Two selection paths produce *identical* command streams:
+
+* the **reference** path (:meth:`Scheduler.candidates`) rebuilds every
+  candidate from scratch on each call -- simple, obviously correct, and
+  kept as the equivalence oracle;
+* the **incremental** path (the default) caches the bank-local part of
+  every candidate per bank and only rebuilds banks whose FSM or queue
+  membership actually changed since the last peek.  Channel-shared
+  resource constraints (command/data bus, tRRD, DDB windows) change on
+  every commit, so they are re-applied cheaply at selection time.
+
+The decomposition is exact because every bank-local input of a candidate
+-- the activation verdict, the victim slot, the pending-hit map used by
+the anti-thrashing guard, and the bank-side earliest issue times -- only
+reads state of the transaction's own bank.  Ties are broken by a
+deterministic per-transaction sequence number (queue order), so both
+paths agree bit-for-bit regardless of enumeration order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.controller.queue import TransactionQueues
 from repro.controller.transaction import Transaction
@@ -32,13 +50,31 @@ PRIO_ACT = 1
 PRIO_PRE = 2
 PRIO_POLICY = 3
 
+#: Arrival stamp for candidates that serve no transaction (policy closes).
+_NO_ARRIVAL = 1 << 62
 
-@dataclass
+#: Default selection path for newly built schedulers; the golden-digest
+#: equivalence tests flip this to compare against the reference path.
+INCREMENTAL_DEFAULT = True
+
+
+def _policy_seq(bank_index: int, slot: SlotKey) -> int:
+    """Deterministic tie-break rank for a policy close of (bank, slot)."""
+    subbank, group = slot
+    return (bank_index << 16) | (subbank << 15) | group
+
+
+@dataclass(slots=True)
 class Candidate:
     """One issuable command proposal.
 
     ``txn`` is the queued transaction the command serves; policy
-    precharges serve no transaction and carry ``txn = None``.
+    precharges serve no transaction and carry ``txn = None``.  ``seq``
+    breaks exact (issue_time, priority, arrival) ties deterministically:
+    it is the serving transaction's enqueue sequence number, or a
+    bank/slot rank for policy closes.  ``arrival`` and ``col_args`` are
+    denormalised copies of transaction state so the selection loop never
+    chases ``cand.txn.*`` attribute chains.
     """
 
     issue_time: int
@@ -47,11 +83,16 @@ class Candidate:
     kind: CommandKind
     victim: Optional[Tuple[int, SlotKey]] = None
     cause: Optional[PrechargeCause] = None
+    seq: int = -1
+    #: Serving transaction's arrival time (``_NO_ARRIVAL`` for policy
+    #: closes), the FCFS component of the sort key.
+    arrival: int = _NO_ARRIVAL
+    #: For column candidates: (is_write, bank_group, bank_index) --
+    #: the arguments of the shared-resource floor lookup.
+    col_args: Optional[Tuple[bool, int, int]] = None
 
-    def sort_key(self) -> Tuple[int, int, int]:
-        arrival = self.txn.arrival_time if self.txn is not None \
-            else 1 << 62
-        return (self.issue_time, self.priority, arrival)
+    def sort_key(self) -> Tuple[int, int, int, int]:
+        return (self.issue_time, self.priority, self.arrival, self.seq)
 
 
 class Scheduler:
@@ -61,13 +102,41 @@ class Scheduler:
     an open row with no pending requests is speculatively closed after
     that much idle time, hiding the tRP of a future conflict.  ``None``
     keeps rows open until a conflict forces a precharge.
+
+    The controller must report every event that can change candidates:
+    :meth:`note_enqueue` when a transaction is admitted,
+    :meth:`note_remove` when a column command retires one, and
+    :meth:`note_bank_change` when a committed command touched a bank's
+    FSM.  Anything missed would silently stale the incremental cache, so
+    the golden-digest tests run both paths over every configuration.
     """
 
     def __init__(self, channel: Channel, queues: TransactionQueues,
-                 idle_close_ps: Optional[int] = None) -> None:
+                 idle_close_ps: Optional[int] = None,
+                 incremental: Optional[bool] = None) -> None:
         self.channel = channel
         self.queues = queues
         self.idle_close_ps = idle_close_ps
+        self.incremental = INCREMENTAL_DEFAULT if incremental is None \
+            else incremental
+        #: Perf counters (mirrored into ControllerStats by the controller).
+        self.peeks = 0
+        self.candidates_built = 0
+        # -- incremental state ------------------------------------------
+        self._seq = 0
+        #: Which queue the current membership was built from ('R'/'W'),
+        #: or None before the first peek.
+        self._source: Optional[str] = None
+        #: Schedulable transactions per bank, in queue order.
+        self._bank_txns: Dict[int, List[Transaction]] = {}
+        #: Cached candidates per bank with *bank-local* issue times (the
+        #: channel-resource floor and the ``now`` clamp are re-applied at
+        #: selection).  Banks with no candidates are absent.
+        self._bank_cands: Dict[int, List[Candidate]] = {}
+        #: Banks whose cached candidates must be rebuilt.
+        self._dirty: Set[int] = set()
+
+    # -- transaction preparation (memoised) ------------------------------
 
     def _prepare(self, txn: Transaction) -> None:
         """Fill the transaction's scheduler caches once."""
@@ -80,6 +149,38 @@ class Scheduler:
             txn.plane = bank.row_layout.plane_id(c.row, c.subbank,
                                                  bank.rap)
             txn.mwl = bank.row_layout.mwl_tag(c.row)
+
+    # -- change notifications (controller-facing) -------------------------
+
+    def note_enqueue(self, txn: Transaction) -> None:
+        """A transaction entered the queues: prepare it and track it."""
+        if txn.bank_index < 0:
+            self._prepare(txn)
+        if txn.seq < 0:
+            txn.seq = self._seq
+            self._seq += 1
+        # Only fold it into the membership if it joins the queue the
+        # current candidate set was built from; otherwise the source
+        # check in best() picks it up on the next drain-mode flip.
+        if self._source == ('R' if txn.is_read else 'W'):
+            self._bank_txns.setdefault(txn.bank_index, []).append(txn)
+            self._dirty.add(txn.bank_index)
+
+    def note_remove(self, txn: Transaction) -> None:
+        """A column command retired ``txn``; drop it from its bank."""
+        txns = self._bank_txns.get(txn.bank_index)
+        if txns is not None:
+            try:
+                txns.remove(txn)
+            except ValueError:
+                pass
+        self._dirty.add(txn.bank_index)
+
+    def note_bank_change(self, bank_index: int) -> None:
+        """A committed command changed this bank's FSM state."""
+        self._dirty.add(bank_index)
+
+    # -- reference path ----------------------------------------------------
 
     def _pending_hits(self, txns: List[Transaction]
                       ) -> Dict[Tuple[int, SlotKey], int]:
@@ -112,10 +213,16 @@ class Scheduler:
                     self.channel.earliest_precharge(bank_index, key))
             out.append(Candidate(t, PRIO_POLICY, None, CommandKind.PRE,
                                  victim=loc,
-                                 cause=PrechargeCause.POLICY))
+                                 cause=PrechargeCause.POLICY,
+                                 seq=_policy_seq(bank_index, key)))
         return out
 
     def candidates(self, now: int) -> List[Candidate]:
+        """Every issuable command, rebuilt from scratch (reference path).
+
+        This is the equivalence oracle the incremental path is tested
+        against; it is also what ``incremental=False`` schedulers use.
+        """
         txns = self.queues.schedulable()
         if not txns and self.idle_close_ps is None:
             return []
@@ -124,6 +231,7 @@ class Scheduler:
         if self.idle_close_ps is not None:
             out.extend(self._policy_closes(now, hits))
         if not txns:
+            self.candidates_built += len(out)
             return out
         seen_acts: set = set()
         seen_pres: set = set()
@@ -137,7 +245,11 @@ class Scheduler:
                 t = self.channel.earliest_column(c, not txn.is_read)
                 out.append(Candidate(max(now, t), PRIO_COLUMN, txn,
                                      CommandKind.WR if not txn.is_read
-                                     else CommandKind.RD))
+                                     else CommandKind.RD, seq=txn.seq,
+                                     arrival=txn.arrival_time,
+                                     col_args=(not txn.is_read,
+                                               c.bank_group,
+                                               txn.bank_index)))
             elif verdict in (ActivationVerdict.ACT_OK,
                              ActivationVerdict.EWLR_HIT):
                 slot = (txn.bank_index, txn.slot)
@@ -146,7 +258,8 @@ class Scheduler:
                 seen_acts.add(slot)
                 t = self.channel.earliest_act(c)
                 out.append(Candidate(max(now, t), PRIO_ACT, txn,
-                                     CommandKind.ACT))
+                                     CommandKind.ACT, seq=txn.seq,
+                                     arrival=txn.arrival_time))
             else:
                 bank_index = txn.bank_index
                 loc = (bank_index, victim_slot)
@@ -163,10 +276,172 @@ class Scheduler:
                 t = self.channel.earliest_precharge(bank_index, victim_slot)
                 out.append(Candidate(max(now, t), PRIO_PRE, txn,
                                      CommandKind.PRE, victim=loc,
-                                     cause=cause))
+                                     cause=cause, seq=txn.seq,
+                                     arrival=txn.arrival_time))
+        self.candidates_built += len(out)
         return out
 
+    # -- incremental path --------------------------------------------------
+
+    def _rebuild_all(self, txns: List[Transaction]) -> None:
+        """Drain-mode flip (or first peek): regroup the whole source."""
+        stale = set(self._bank_cands)
+        self._bank_txns = {}
+        for txn in txns:
+            if txn.bank_index < 0:
+                self._prepare(txn)
+            if txn.seq < 0:
+                txn.seq = self._seq
+                self._seq += 1
+            self._bank_txns.setdefault(txn.bank_index, []).append(txn)
+        self._dirty = stale | set(self._bank_txns)
+        if self.idle_close_ps is not None:
+            self._dirty.update(loc[0] for loc in self.channel.open_slots)
+
+    def _rebuild_bank(self, bank_index: int) -> None:
+        """Recompute the bank-local candidates of one bank.
+
+        Issue times stored here exclude the channel-resource floor and
+        the ``now`` clamp -- both are re-applied at selection, so a
+        cached candidate never goes stale from *other* banks' traffic.
+        """
+        bank = self.channel.banks[bank_index]
+        txns = self._bank_txns.get(bank_index, ())
+        hits: Dict[Tuple[int, SlotKey], int] = {}
+        for txn in txns:
+            if bank.slots[txn.slot].active_row == txn.coords.row:
+                loc = (bank_index, txn.slot)
+                if loc not in hits or txn.arrival_time < hits[loc]:
+                    hits[loc] = txn.arrival_time
+        out: List[Candidate] = []
+        if self.idle_close_ps is not None:
+            for key, slot in bank.slots.items():
+                if slot.active_row is None:
+                    continue
+                loc = (bank_index, key)
+                if loc in hits:
+                    continue  # a pending request still wants this row
+                t = max(slot.last_use + self.idle_close_ps,
+                        bank.earliest_precharge(key))
+                out.append(Candidate(t, PRIO_POLICY, None, CommandKind.PRE,
+                                     victim=loc,
+                                     cause=PrechargeCause.POLICY,
+                                     seq=_policy_seq(bank_index, key)))
+        seen_acts: set = set()
+        seen_pres: set = set()
+        seen_cols: set = set()
+        for txn in txns:
+            c = txn.coords
+            verdict, victim_slot = bank.classify(
+                c.subbank, c.row, txn.plane, txn.mwl, txn.slot)
+            if verdict is ActivationVerdict.ROW_HIT:
+                # All hits on one slot target the same open row, share
+                # the same issue time and direction, and are visited in
+                # (arrival, seq) order -- only the first can ever win,
+                # so later duplicates are provably unselectable.
+                if txn.slot in seen_cols:
+                    continue
+                seen_cols.add(txn.slot)
+                t = bank.earliest_column(c.subbank, c.row)
+                out.append(Candidate(t, PRIO_COLUMN, txn,
+                                     CommandKind.WR if not txn.is_read
+                                     else CommandKind.RD, seq=txn.seq,
+                                     arrival=txn.arrival_time,
+                                     col_args=(not txn.is_read,
+                                               c.bank_group,
+                                               bank_index)))
+            elif verdict in (ActivationVerdict.ACT_OK,
+                             ActivationVerdict.EWLR_HIT):
+                if txn.slot in seen_acts:
+                    continue  # one ACT proposal per target slot
+                seen_acts.add(txn.slot)
+                out.append(Candidate(bank.earliest_act(c.subbank, c.row),
+                                     PRIO_ACT, txn, CommandKind.ACT,
+                                     seq=txn.seq,
+                                     arrival=txn.arrival_time))
+            else:
+                loc = (bank_index, victim_slot)
+                if loc in hits and hits[loc] <= txn.arrival_time:
+                    continue
+                if victim_slot in seen_pres:
+                    continue
+                seen_pres.add(victim_slot)
+                cause = (PrechargeCause.PLANE_CONFLICT
+                         if verdict is ActivationVerdict.PLANE_CONFLICT
+                         else PrechargeCause.ROW_CONFLICT)
+                out.append(Candidate(bank.earliest_precharge(victim_slot),
+                                     PRIO_PRE, txn, CommandKind.PRE,
+                                     victim=loc, cause=cause, seq=txn.seq,
+                                     arrival=txn.arrival_time))
+        self.candidates_built += len(out)
+        if out:
+            self._bank_cands[bank_index] = out
+        else:
+            self._bank_cands.pop(bank_index, None)
+
+    def _best_incremental(self, now: int) -> Optional[Candidate]:
+        txns = self.queues.schedulable()
+        source = 'W' if txns is self.queues.writes else 'R'
+        if source != self._source:
+            self._source = source
+            self._rebuild_all(txns)
+        if self._dirty:
+            for bank_index in self._dirty:
+                self._rebuild_bank(bank_index)
+            self._dirty.clear()
+        if not self._bank_cands:
+            return None
+        resources = self.channel.resources
+        earliest_column = resources.earliest_column
+        res_act = res_pre = None  # computed lazily, shared by all banks
+        #: Column floors repeat per (direction, group, bank) within one
+        #: peek -- memoise them for the duration of this selection.
+        col_memo: Dict[Tuple[bool, int, int], int] = {}
+        best: Optional[Candidate] = None
+        best_time = 0
+        best_rest: Optional[Tuple[int, int, int]] = None
+        for cands in self._bank_cands.values():
+            for cand in cands:
+                prio = cand.priority
+                if prio == PRIO_COLUMN:
+                    args = cand.col_args
+                    t = col_memo.get(args)
+                    if t is None:
+                        t = earliest_column(*args)
+                        col_memo[args] = t
+                elif prio == PRIO_ACT:
+                    if res_act is None:
+                        res_act = resources.earliest_act()
+                    t = res_act
+                else:
+                    if res_pre is None:
+                        res_pre = resources.earliest_precharge()
+                    t = res_pre
+                if t < cand.issue_time:
+                    t = cand.issue_time
+                if t < now:
+                    t = now
+                # Compare on time first; the tie-break tuple is only
+                # built for genuine time ties.
+                if best is not None and t > best_time:
+                    continue
+                rest = (prio, cand.arrival, cand.seq)
+                if best is None or t < best_time or rest < best_rest:
+                    best, best_time, best_rest = cand, t, rest
+        if best is None:
+            return None
+        # Cached candidates are shared across peeks -- never mutate them.
+        return Candidate(best_time, best.priority, best.txn, best.kind,
+                         victim=best.victim, cause=best.cause,
+                         seq=best.seq, arrival=best.arrival,
+                         col_args=best.col_args)
+
+    # -- selection ---------------------------------------------------------
+
     def best(self, now: int) -> Optional[Candidate]:
+        self.peeks += 1
+        if self.incremental:
+            return self._best_incremental(now)
         cands = self.candidates(now)
         if not cands:
             return None

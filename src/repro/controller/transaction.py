@@ -66,6 +66,10 @@ class Transaction:
     slot: Optional[tuple] = None
     plane: Optional[int] = None
     mwl: Optional[int] = None
+    #: Enqueue sequence number within the channel, assigned by the
+    #: scheduler; the deterministic last-resort tie-break in FR-FCFS
+    #: candidate selection.
+    seq: int = -1
 
     @property
     def is_read(self) -> bool:

@@ -73,6 +73,10 @@ class TraceCore:
         #: the data is outstanding).
         self._dep_read_index: Optional[int] = None
         self._dep_read_completion: Optional[int] = None
+        #: Memoised next_request_time(); the answer only changes when
+        #: this core pops a request or one of its reads completes.
+        self._ready_cache: Optional[int] = None
+        self._instr_ps = config.instruction_time_ps
 
     # -- progress ----------------------------------------------------------
 
@@ -108,7 +112,17 @@ class TraceCore:
 
         ``BLOCKED`` while the ROB is full behind an incomplete read;
         ``BLOCKED`` also once the trace is exhausted.
+
+        Memoised: the inputs only change through :meth:`pop_request` or
+        :meth:`complete_read`, which drop the cache.
         """
+        cached = self._ready_cache
+        if cached is not None:
+            return cached
+        self._ready_cache = ready = self._compute_request_time()
+        return ready
+
+    def _compute_request_time(self) -> int:
         if self._index >= len(self.trace):
             return BLOCKED
         entry = self._next_entry()
@@ -120,8 +134,7 @@ class TraceCore:
             if self._dep_read_completion is None:
                 return BLOCKED
             barrier = max(barrier, self._dep_read_completion)
-        compute = self._frontier_ps + \
-            entry.gap * self.config.instruction_time_ps
+        compute = self._frontier_ps + entry.gap * self._instr_ps
         return max(int(compute), barrier)
 
     def peek_entry(self) -> TraceEntry:
@@ -143,8 +156,9 @@ class TraceCore:
             self._dep_read_completion = None
         self._instructions_issued = index
         # The access instruction itself occupies one issue slot.
-        self._frontier_ps = issue_time + self.config.instruction_time_ps
+        self._frontier_ps = issue_time + self._instr_ps
         self._index += 1
+        self._ready_cache = None
         return entry
 
     def instruction_index_of_last_request(self) -> int:
@@ -166,6 +180,7 @@ class TraceCore:
                     self._last_read_completion, completion_time)
                 if instruction_index == self._dep_read_index:
                     self._dep_read_completion = completion_time
+                self._ready_cache = None
                 return
         raise ValueError(
             f"no outstanding read at instruction {instruction_index}")

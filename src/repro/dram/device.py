@@ -50,7 +50,9 @@ class Channel:
         self.precharge_causes = {cause: 0 for cause in PrechargeCause}
         #: Registry of open row slots, (bank index, slot key), kept in
         #: sync by issue_act/issue_precharge for the page policy's scan.
-        self.open_slots: set = set()
+        #: A dict (insertion-ordered, values unused) so the scan order is
+        #: reproducible -- set iteration order would depend on hashes.
+        self.open_slots: dict = {}
         #: Optional command log for post-hoc validation
         #: (:mod:`repro.dram.validation`).
         self.command_log: Optional[list] = [] if record_commands else None
@@ -101,7 +103,7 @@ class Channel:
         self.energy.record_act(ewlr_hit=ewlr_hit)
         bank_index = self.bank_index(coords)
         slot = bank.slot_key(coords.subbank, coords.row)
-        self.open_slots.add((bank_index, slot))
+        self.open_slots[(bank_index, slot)] = None
         if self.command_log is not None:
             from repro.dram.validation import CommandRecord
             self.command_log.append(CommandRecord(
@@ -138,7 +140,7 @@ class Channel:
         self.resources.record_precharge(time)
         self.energy.record_precharge(partial=partial)
         self.precharge_causes[cause] += 1
-        self.open_slots.discard((bank_index, slot))
+        self.open_slots.pop((bank_index, slot), None)
         if self.command_log is not None:
             from repro.dram.validation import CommandRecord
             self.command_log.append(CommandRecord(

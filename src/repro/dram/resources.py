@@ -88,35 +88,58 @@ class ChannelResources:
 
     def earliest_column(self, is_write: bool, bank_group: int,
                         bank: int) -> int:
-        """Earliest legal issue time for a column command to (bg, bank)."""
+        """Earliest legal issue time for a column command to (bg, bank).
+
+        Hot path (one call per cached column candidate per peek), so the
+        floors are folded with running comparisons instead of building a
+        throwaway list.
+        """
         t = self.timing
-        candidates = [self.cmd_bus_free,
-                      self._last_cas_any + t.tCCD_S]
-        if self.policy is BusPolicy.BANK_GROUPS:
-            candidates.append(self._last_cas_bg[bank_group] + t.tCCD_L)
-        elif self.policy is BusPolicy.DDB:
-            candidates.append(self._last_cas_bank[bank] + t.tCCD_L)
+        best = self.cmd_bus_free
+        v = self._last_cas_any + t.tCCD_S
+        if v > best:
+            best = v
+        policy = self.policy
+        if policy is BusPolicy.BANK_GROUPS:
+            v = self._last_cas_bg[bank_group] + t.tCCD_L
+            if v > best:
+                best = v
+        elif policy is BusPolicy.DDB:
+            v = self._last_cas_bank[bank] + t.tCCD_L
+            if v > best:
+                best = v
             if self._windows_active:
-                candidates.append(self._cas_window[bank_group][0] + t.tTCW)
+                v = self._cas_window[bank_group][0] + t.tTCW
+                if v > best:
+                    best = v
         # Write-to-read turnaround (command-level).
         if not is_write:
-            candidates.append(self._wr_end_any + t.tWTR_S)
-            if self.policy is BusPolicy.BANK_GROUPS:
-                candidates.append(self._wr_end_bg[bank_group] + t.tWTR_L)
-            elif self.policy is BusPolicy.DDB:
-                candidates.append(self._wr_end_bank[bank] + t.tWTR_L)
+            v = self._wr_end_any + t.tWTR_S
+            if v > best:
+                best = v
+            if policy is BusPolicy.BANK_GROUPS:
+                v = self._wr_end_bg[bank_group] + t.tWTR_L
+                if v > best:
+                    best = v
+            elif policy is BusPolicy.DDB:
+                v = self._wr_end_bank[bank] + t.tWTR_L
+                if v > best:
+                    best = v
                 if self._windows_active:
-                    candidates.append(
-                        self._wr_window[bank_group][0] + t.tTWTRW)
+                    v = self._wr_window[bank_group][0] + t.tTWTRW
+                    if v > best:
+                        best = v
         # External data-bus occupancy: the new burst must start after the
         # previous one ends, plus a turnaround bubble on direction change.
-        latency = t.tCWL if is_write else t.tCL
-        gap = 0
-        if (self._last_data_write is not None
-                and self._last_data_write != is_write):
-            gap = TURNAROUND_CLOCKS * t.tCK
-        candidates.append(self._last_data_end + gap - latency)
-        return max(candidates)
+        last_write = self._last_data_write
+        if last_write is not None and last_write != is_write:
+            v = (self._last_data_end + TURNAROUND_CLOCKS * t.tCK
+                 - (t.tCWL if is_write else t.tCL))
+        else:
+            v = self._last_data_end - (t.tCWL if is_write else t.tCL)
+        if v > best:
+            best = v
+        return best
 
     # -- recorders -------------------------------------------------------
 

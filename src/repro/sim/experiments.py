@@ -22,6 +22,7 @@ from repro.dram.timing import FIG14_BUS_FREQUENCIES_HZ
 from repro.sim import config as cfgs
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import gmean, quartiles, weighted_speedup
+from repro.sim.parallel import AloneIpcDiskCache, SimJob, run_grid
 from repro.sim.simulator import SimulationResult, run_traces
 from repro.workloads.generator import generate_traces
 from repro.workloads.mixes import MIXES, MIX_NAMES, mix_traces
@@ -44,14 +45,30 @@ class ExperimentSettings:
 
 
 class ExperimentContext:
-    """Caches traces and alone-IPCs across runners."""
+    """Caches traces, alone-IPCs, and simulation results across runners.
+
+    ``jobs`` > 1 lets :meth:`prefetch` fan independent grid cells out
+    over worker processes (see :mod:`repro.sim.parallel`); every runner
+    prefetches its full grid up front, then reads results from the
+    cache, so serial and parallel execution produce identical tables.
+
+    ``disk_cache`` (on by default) persists alone-IPC runs across
+    invocations; pass ``disk_cache=False`` for a hermetic context.
+    """
 
     def __init__(self, settings: ExperimentSettings = ExperimentSettings(),
-                 core_config: CoreConfig = CoreConfig()) -> None:
+                 core_config: CoreConfig = CoreConfig(),
+                 jobs: int = 1, disk_cache: bool = True) -> None:
         self.settings = settings
         self.core_config = core_config
+        self.jobs = jobs
+        self.disk_cache: Optional[AloneIpcDiskCache] = (
+            AloneIpcDiskCache() if disk_cache else None)
         self._trace_cache: Dict[tuple, List[Trace]] = {}
         self._alone_cache: Dict[tuple, float] = {}
+        #: Finished cells keyed by (config, mix, frag, core_config) --
+        #: all frozen dataclasses, so equal configs hit across figures.
+        self._result_cache: Dict[tuple, SimulationResult] = {}
 
     # -- workloads ---------------------------------------------------------
 
@@ -65,20 +82,37 @@ class ExperimentContext:
                 mix, s.accesses_per_core, fragmentation=frag, seed=s.seed)
         return self._trace_cache[key]
 
+    def _alone_key(self, benchmark: str, frag: float,
+                   cc: CoreConfig) -> tuple:
+        s = self.settings
+        return (benchmark, frag, s.seed, s.accesses_per_core, cc.clock_hz)
+
+    def _alone_disk_key(self, key: tuple) -> str:
+        benchmark, frag, seed, accesses, clock_hz = key
+        return AloneIpcDiskCache.key(benchmark, frag, seed, accesses,
+                                     clock_hz)
+
     def alone_ipc(self, benchmark: str,
                   fragmentation: Optional[float] = None,
                   core_config: Optional[CoreConfig] = None) -> float:
         s = self.settings
         frag = s.fragmentation if fragmentation is None else fragmentation
         cc = core_config or self.core_config
-        key = (benchmark, frag, s.seed, s.accesses_per_core, cc.clock_hz)
+        key = self._alone_key(benchmark, frag, cc)
         if key not in self._alone_cache:
-            traces = generate_traces(
-                [profile(benchmark)], s.accesses_per_core,
-                fragmentation=frag, seed=s.seed)
-            result = run_traces(cfgs.ddr4_baseline(), traces,
-                                core_config=cc)
-            self._alone_cache[key] = result.ipcs[0]
+            value = None
+            if self.disk_cache is not None:
+                value = self.disk_cache.get(self._alone_disk_key(key))
+            if value is None:
+                traces = generate_traces(
+                    [profile(benchmark)], s.accesses_per_core,
+                    fragmentation=frag, seed=s.seed)
+                result = run_traces(cfgs.ddr4_baseline(), traces,
+                                    core_config=cc)
+                value = result.ipcs[0]
+                if self.disk_cache is not None:
+                    self.disk_cache.put(self._alone_disk_key(key), value)
+            self._alone_cache[key] = value
         return self._alone_cache[key]
 
     # -- one (config, mix) evaluation ---------------------------------------
@@ -86,8 +120,16 @@ class ExperimentContext:
     def run(self, config: SystemConfig, mix: str,
             fragmentation: Optional[float] = None,
             core_config: Optional[CoreConfig] = None) -> SimulationResult:
-        return run_traces(config, self.traces(mix, fragmentation),
-                          core_config=core_config or self.core_config)
+        s = self.settings
+        frag = s.fragmentation if fragmentation is None else fragmentation
+        cc = core_config or self.core_config
+        key = (config, mix, frag, cc)
+        result = self._result_cache.get(key)
+        if result is None:
+            result = run_traces(config, self.traces(mix, frag),
+                                core_config=cc)
+            self._result_cache[key] = result
+        return result
 
     def mix_ws(self, config: SystemConfig, mix: str,
                fragmentation: Optional[float] = None,
@@ -98,6 +140,78 @@ class ExperimentContext:
         alone = [self.alone_ipc(n, fragmentation, core_config)
                  for n in names]
         return weighted_speedup(result.ipcs, alone), result
+
+    # -- grid prefetch ------------------------------------------------------
+
+    def prefetch(self, cells: Sequence[tuple], alone: bool = True) -> None:
+        """Warm the caches for a list of grid cells, ``jobs``-wide.
+
+        ``cells`` holds (config, mix, fragmentation, core_config)
+        tuples (the trailing pair may be ``None`` for the context
+        defaults).  With ``alone`` set, the member benchmarks' alone-IPC
+        runs are prefetched too.  Serial contexts return immediately:
+        the lazy per-cell path is just as fast in-process and reuses
+        cached traces.
+        """
+        if self.jobs <= 1:
+            return
+        s = self.settings
+        jobs: List[SimJob] = []
+        slots: List[tuple] = []
+        queued = set()
+        for cell in cells:
+            config, mix = cell[0], cell[1]
+            frag = cell[2] if len(cell) > 2 and cell[2] is not None \
+                else s.fragmentation
+            cc = cell[3] if len(cell) > 3 and cell[3] is not None \
+                else self.core_config
+            if alone:
+                for benchmark in MIXES[mix][0]:
+                    akey = self._alone_key(benchmark, frag, cc)
+                    if akey in self._alone_cache or akey in queued:
+                        continue
+                    if self.disk_cache is not None:
+                        value = self.disk_cache.get(
+                            self._alone_disk_key(akey))
+                        if value is not None:
+                            self._alone_cache[akey] = value
+                            continue
+                    queued.add(akey)
+                    jobs.append(SimJob(
+                        config=cfgs.ddr4_baseline(),
+                        accesses=s.accesses_per_core, fragmentation=frag,
+                        seed=s.seed, core_config=cc,
+                        benchmark=benchmark))
+                    slots.append(("alone", akey))
+            rkey = (config, mix, frag, cc)
+            if rkey in self._result_cache or rkey in queued:
+                continue
+            queued.add(rkey)
+            jobs.append(SimJob(
+                config=config, accesses=s.accesses_per_core,
+                fragmentation=frag, seed=s.seed, core_config=cc,
+                mix=mix))
+            slots.append(("result", rkey))
+        if not jobs:
+            return
+        # Group cells sharing a workload next to each other: chunked
+        # dispatch then lands them on one worker, whose per-process
+        # trace memo regenerates the traces once per group.
+        order = sorted(range(len(jobs)), key=lambda i: (
+            jobs[i].benchmark or "", jobs[i].mix or "",
+            jobs[i].fragmentation, i))
+        jobs = [jobs[i] for i in order]
+        slots = [slots[i] for i in order]
+        results = run_grid(jobs, self.jobs)
+        new_alone: Dict[str, float] = {}
+        for (kind, key), result in zip(slots, results):
+            if kind == "alone":
+                self._alone_cache[key] = result.ipcs[0]
+                new_alone[self._alone_disk_key(key)] = result.ipcs[0]
+            else:
+                self._result_cache[key] = result
+        if self.disk_cache is not None:
+            self.disk_cache.put_many(new_alone)
 
 
 # -- Fig. 12: normalised weighted speedup per mix ---------------------------
@@ -138,8 +252,11 @@ class SpeedupTable:
 
 def fig12(context: ExperimentContext,
           configs: Optional[Sequence[SystemConfig]] = None) -> SpeedupTable:
+    configs = list(configs or fig12_configs())
+    context.prefetch([(config, mix) for config in configs
+                      for mix in context.settings.mixes])
     table = SpeedupTable()
-    for config in configs or fig12_configs():
+    for config in configs:
         row = {}
         for mix in context.settings.mixes:
             ws, _ = context.mix_ws(config, mix)
@@ -176,6 +293,12 @@ def fig13(context: ExperimentContext,
           schemes=FIG13_SCHEMES) -> List[PlaneSweepPoint]:
     points: List[PlaneSweepPoint] = []
     mixes = context.settings.mixes
+    sweep_configs = [cfgs.ddr4_baseline()] + [
+        cfgs.vsb(make(n)) for _, make in schemes for n in planes]
+    context.prefetch([(config, mix, frag)
+                      for frag in fragmentations
+                      for config in sweep_configs
+                      for mix in mixes])
     for frag in fragmentations:
         base_ws = {mix: context.mix_ws(cfgs.ddr4_baseline(), mix, frag)[0]
                    for mix in mixes}
@@ -225,6 +348,14 @@ def fig14(context: ExperimentContext,
     points: List[FrequencyPoint] = []
     base_freq = frequencies[0]
     mixes = context.settings.mixes
+    cells = []
+    for freq in frequencies:
+        factor = freq / base_freq
+        core = context.core_config.scaled(factor)
+        for config in ([cfgs.ddr4_baseline()] + fig14_configs()):
+            scaled = config.at_frequency(freq)
+            cells.extend((scaled, mix, None, core) for mix in mixes)
+    context.prefetch(cells)
     for freq in frequencies:
         factor = freq / base_freq
         core = context.core_config.scaled(factor)
@@ -264,6 +395,10 @@ def fig15_configs() -> List[SystemConfig]:
 def fig15(context: ExperimentContext) -> Dict[str, float]:
     """GMEAN normalised weighted speedup of each prior-work config."""
     mixes = context.settings.mixes
+    context.prefetch([(config, mix)
+                      for config in [cfgs.ddr4_baseline()]
+                      + fig15_configs()
+                      for mix in mixes])
     base_ws = {mix: context.mix_ws(cfgs.ddr4_baseline(), mix)[0]
                for mix in mixes}
     out: Dict[str, float] = {}
@@ -302,6 +437,9 @@ def fig16_configs() -> List[SystemConfig]:
 
 
 def fig16(context: ExperimentContext) -> List[LatencyEnergyRow]:
+    # Fig. 16 never computes weighted speedup, so no alone runs needed.
+    context.prefetch([(config, mix) for config in fig16_configs()
+                      for mix in context.settings.mixes], alone=False)
     rows: List[LatencyEnergyRow] = []
     for config in fig16_configs():
         latencies: List[int] = []

@@ -1,0 +1,176 @@
+"""Parallel grid execution and the persistent alone-IPC cache.
+
+The experiment runners evaluate a *grid* of (configuration, workload)
+cells whose runs are mutually independent: traces are regenerated
+deterministically from (mix/benchmark, accesses, fragmentation, seed),
+so a cell can execute in any process and return the exact same
+:class:`~repro.sim.simulator.SimulationResult`.  :func:`run_grid` fans a
+list of :class:`SimJob` cells out over a ``ProcessPoolExecutor`` and
+returns results in submission order, which keeps every downstream
+aggregation (GMEAN tables, sweeps) bit-identical to a serial run.
+
+:class:`AloneIpcDiskCache` persists the most redundant part of the grid
+-- the per-benchmark alone-IPC runs used by weighted speedup -- across
+*invocations*: the baseline alone-run for (benchmark, fragmentation,
+seed, accesses, core clock) never changes, so figs 12--15 share one
+on-disk JSON table instead of resimulating it per figure and per CLI
+call.  Set ``REPRO_CACHE_DIR`` to relocate it (e.g. to a pytest
+``tmp_path``); delete the directory to invalidate.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cpu.core import CoreConfig
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import SimulationResult, run_traces
+
+#: Environment variable relocating the on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+#: Bump to invalidate every persisted entry after a modelling change.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One grid cell: a configuration evaluated on one workload.
+
+    Exactly one of ``mix`` / ``benchmark`` is set: a mix runs one core
+    per member benchmark, a bare benchmark runs alone (the denominator
+    of weighted speedup).  The job carries everything needed to
+    regenerate the traces in a worker process, so only small frozen
+    dataclasses cross the process boundary.
+    """
+
+    config: SystemConfig
+    accesses: int
+    fragmentation: float
+    seed: int
+    core_config: CoreConfig
+    mix: Optional[str] = None
+    benchmark: Optional[str] = None
+
+
+#: Per-process trace memo: a worker that draws several cells of the
+#: same (mix, accesses, frag, seed) regenerates the traces only once.
+_trace_memo: Dict[tuple, object] = {}
+
+
+def _job_traces(job: SimJob):
+    key = (job.mix, job.benchmark, job.accesses, job.fragmentation,
+           job.seed)
+    traces = _trace_memo.get(key)
+    if traces is None:
+        if job.benchmark is not None:
+            from repro.workloads.generator import generate_traces
+            from repro.workloads.profiles import profile
+            traces = generate_traces(
+                [profile(job.benchmark)], job.accesses,
+                fragmentation=job.fragmentation, seed=job.seed)
+        else:
+            from repro.workloads.mixes import mix_traces
+            traces = mix_traces(job.mix, job.accesses,
+                                fragmentation=job.fragmentation,
+                                seed=job.seed)
+        if len(_trace_memo) > 64:  # bound worker memory
+            _trace_memo.clear()
+        _trace_memo[key] = traces
+    return traces
+
+
+def _run_job(job: SimJob) -> SimulationResult:
+    """Worker entry point: regenerate the traces and simulate."""
+    return run_traces(job.config, _job_traces(job),
+                      core_config=job.core_config)
+
+
+def default_workers() -> int:
+    """Worker count when the caller asks for "all cores"."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_grid(jobs: Sequence[SimJob], workers: int = 1
+             ) -> List[SimulationResult]:
+    """Run every job, across ``workers`` processes, in submission order.
+
+    ``workers <= 1`` (or a single job) runs serially in-process -- same
+    results, no pool overhead -- so callers can pass their ``--jobs``
+    value straight through.
+    """
+    jobs = list(jobs)
+    if workers <= 1 or len(jobs) <= 1:
+        return [_run_job(job) for job in jobs]
+    # fork shares the loaded modules with the workers; spawn (the only
+    # option on some platforms) re-imports them, which is still correct
+    # because jobs are self-contained.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs)),
+                             mp_context=ctx) as pool:
+        # Mild chunking amortises IPC without hurting load balance.
+        chunk = max(1, len(jobs) // (workers * 4))
+        return list(pool.map(_run_job, jobs, chunksize=chunk))
+
+
+class AloneIpcDiskCache:
+    """Persistent {alone-run key: IPC} table shared by all runners.
+
+    The table is a single JSON file.  Writes are merge-on-write (the
+    file is re-read and updated before the atomic replace), so
+    concurrent invocations lose no entries -- at worst they both
+    recompute the same value, which is deterministic anyway.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.directory = directory
+        self.path = os.path.join(directory, "alone_ipc.json")
+        self._data: Optional[Dict[str, float]] = None
+
+    @staticmethod
+    def key(benchmark: str, fragmentation: float, seed: int,
+            accesses: int, clock_hz: float) -> str:
+        return (f"v{CACHE_VERSION}|{benchmark}|{fragmentation!r}|{seed}"
+                f"|{accesses}|{clock_hz!r}")
+
+    def _read_file(self) -> Dict[str, float]:
+        try:
+            with open(self.path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def _load(self) -> Dict[str, float]:
+        if self._data is None:
+            self._data = self._read_file()
+        return self._data
+
+    def get(self, key: str) -> Optional[float]:
+        return self._load().get(key)
+
+    def put_many(self, entries: Dict[str, float]) -> None:
+        if not entries:
+            return
+        merged = self._read_file()  # pick up concurrent writers
+        merged.update(self._load())
+        merged.update(entries)
+        self._data = merged
+        os.makedirs(self.directory, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(merged, fh, sort_keys=True)
+        os.replace(tmp, self.path)
+
+    def put(self, key: str, value: float) -> None:
+        self.put_many({key: value})

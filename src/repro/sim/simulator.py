@@ -11,12 +11,23 @@ full behind an outstanding read); the simulator always commits the
 earliest event.  Because channels are fully independent and core arrivals
 are processed before any later command, this is behaviourally equivalent
 to a cycle-by-cycle simulation while skipping every idle cycle.
+
+Core arrivals live in a min-heap keyed by (ready time, core id): a core's
+ready time only changes when it hands off a request or one of its reads
+completes, so the heap is patched at those two points instead of
+re-sorting every core on every iteration.  Stale entries (a read
+completion moved a core from ``BLOCKED`` to ready) are dropped lazily at
+the top of the heap.  Controller proposals are cached per channel and
+invalidated only when that channel's state changes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import heapq
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.controller.controller import ChannelController, ControllerStats
 from repro.controller.transaction import Transaction, TransactionKind
@@ -37,11 +48,21 @@ class MemorySystem:
                               config.idle_close_ps)
             for _ in range(config.channels)
         ]
+        #: Memoised address routing: traces revisit rows constantly, and
+        #: a failed enqueue (full queue) re-routes the same address, so
+        #: decoded coordinates are cached per physical address.
+        self._route_cache: Dict[int, Tuple[ChannelController,
+                                           "object", int]] = {}
 
     def controller_for(self, address: int):
         """(controller, coords, channel index) serving this address."""
-        coords = self.mapping.decode(address)
-        return self.controllers[coords.channel], coords, coords.channel
+        route = self._route_cache.get(address)
+        if route is None:
+            coords = self.mapping.decode(address)
+            route = (self.controllers[coords.channel], coords,
+                     coords.channel)
+            self._route_cache[address] = route
+        return route
 
 
 @dataclass
@@ -63,6 +84,9 @@ class SimulationResult:
     elapsed_ps: int = 0
     #: Total memory transactions served.
     transactions: int = 0
+    #: Host wall-clock seconds spent in the event loop (perf counter;
+    #: like peeks/candidates_built it does not feed the digest).
+    wall_time_s: float = 0.0
 
     @property
     def plane_conflict_precharge_fraction(self) -> float:
@@ -78,9 +102,44 @@ class SimulationResult:
             return 0.0
         return self.stats.ewlr_hits / self.stats.acts
 
+    def digest(self) -> str:
+        """Stable hash of every architecturally visible outcome.
+
+        Two runs are behaviourally identical iff their digests match:
+        per-core IPCs and finish times, every command/latency counter,
+        energy events, and the precharge-cause split all feed the hash.
+        Perf counters (peeks, candidates built) deliberately do *not* --
+        they describe scheduler effort, not scheduled behaviour.
+        """
+        s = self.stats
+        e = self.energy
+        parts = [
+            self.config_name,
+            ",".join(repr(v) for v in self.ipcs),
+            ",".join(str(v) for v in self.finish_times),
+            f"{s.commands_issued},{s.acts},{s.ewlr_hits},{s.columns},"
+            f"{s.precharges}",
+            ",".join(str(v) for v in sorted(s.read_latencies)),
+            f"{e.activations},{e.ewlr_hit_activations},{e.precharges},"
+            f"{e.partial_precharges},{e.reads},{e.writes}",
+            ",".join(f"{c.value}:{n}"
+                     for c, n in sorted(self.precharge_causes.items(),
+                                        key=lambda kv: kv[0].value)),
+            f"{self.elapsed_ps},{self.transactions}",
+        ]
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
 
 class DeadlockError(RuntimeError):
     """The simulator made no progress; indicates a modelling bug."""
+
+
+class CommandBudgetExceeded(RuntimeError):
+    """The run hit the caller's ``max_commands`` budget.
+
+    Distinct from :class:`DeadlockError`: the simulator was still making
+    progress, the caller just capped how long it may run.
+    """
 
 
 class Simulator:
@@ -94,6 +153,10 @@ class Simulator:
         #: Cached scheduler proposals per channel, invalidated on change.
         self._peeks: List = [None] * len(system.controllers)
         self._dirty = [True] * len(system.controllers)
+        #: Min-heap of (ready time, core id) arrival events; cores whose
+        #: next access is BLOCKED have no entry until a read completion
+        #: re-inserts them.
+        self._arrivals: List[Tuple[int, int]] = []
 
     # -- internals ---------------------------------------------------------
 
@@ -140,30 +203,63 @@ class Simulator:
         self._dirty[idx] = True
         for txn in completed:
             if txn.is_read and txn.core >= 0:
-                self.cores[txn.core].complete_read(
-                    txn.instruction, txn.completion_time)
+                core = self.cores[txn.core]
+                core.complete_read(txn.instruction, txn.completion_time)
+                # The completion may have unblocked the core (ROB no
+                # longer pinned / dependent address now known).
+                ready = core.next_request_time()
+                if ready < BLOCKED:
+                    heapq.heappush(self._arrivals,
+                                   (ready, txn.core))
 
     # -- main loop -----------------------------------------------------------
 
     def run(self, max_commands: int = 1 << 31) -> SimulationResult:
+        wall_start = time.perf_counter()
         commands = 0
+        cores = self.cores
+        heap = self._arrivals
+        heap.clear()
+        for core in cores:
+            ready = core.next_request_time()
+            if ready < BLOCKED:
+                heap.append((ready, core.core_id))
+        heapq.heapify(heap)
+        heappush, heappop = heapq.heappush, heapq.heappop
         while True:
-            # All ready core requests, earliest first.  Cores whose target
-            # queue is full must not head-of-line-block other cores.
-            ready_cores = sorted(
-                ((core.next_request_time(), core.core_id, core)
-                 for core in self.cores),
-                key=lambda item: item[:2])
             cmd_idx, cmd = self._earliest_command()
             cmd_time = cmd.issue_time if cmd is not None else BLOCKED
 
+            # All ready core requests, earliest first.  Cores whose target
+            # queue is full must not head-of-line-block other cores, so a
+            # failed admission is set aside and retried next iteration.
             enqueued = False
-            for ready, _, core in ready_cores:
-                if ready >= BLOCKED or ready > cmd_time:
+            deferred = None
+            while heap:
+                ready, cid = heap[0]
+                core = cores[cid]
+                actual = core.next_request_time()
+                if actual != ready:
+                    # Stale entry (a completion re-inserted this core).
+                    heappop(heap)
+                    if actual < BLOCKED:
+                        heappush(heap, (actual, cid))
+                    continue
+                if ready > cmd_time:
                     break
+                heappop(heap)
                 if self._try_enqueue(core, ready):
                     enqueued = True
+                    nxt = core.next_request_time()
+                    if nxt < BLOCKED:
+                        heappush(heap, (nxt, cid))
                     break
+                if deferred is None:
+                    deferred = []
+                deferred.append((ready, cid))
+            if deferred:
+                for item in deferred:
+                    heappush(heap, item)
             if enqueued:
                 continue
 
@@ -175,9 +271,12 @@ class Simulator:
             self._commit(cmd_idx, cmd)
             commands += 1
             if commands >= max_commands:
-                raise DeadlockError(
-                    f"exceeded {max_commands} commands; likely livelock")
-        return self._result()
+                raise CommandBudgetExceeded(
+                    f"stopped after {max_commands} commands "
+                    f"(raise max_commands to simulate further)")
+        result = self._result()
+        result.wall_time_s = time.perf_counter() - wall_start
+        return result
 
     def _result(self) -> SimulationResult:
         stats = ControllerStats()

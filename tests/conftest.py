@@ -1,0 +1,14 @@
+"""Suite-wide fixtures: keep tests hermetic.
+
+The experiment pipeline persists alone-IPC results under
+``REPRO_CACHE_DIR`` (default ``.repro_cache/``).  Tests must neither
+read a developer's stale cache nor leave files behind, so the whole
+suite runs against a throwaway cache directory.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_disk_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))

@@ -7,6 +7,7 @@ from repro.cpu.core import CoreConfig, TraceCore
 from repro.cpu.trace import Trace, TraceEntry
 from repro.sim.config import ddr4_baseline
 from repro.sim.simulator import (
+    CommandBudgetExceeded,
     DeadlockError,
     MemorySystem,
     Simulator,
@@ -20,11 +21,19 @@ def seq_trace(n, gap=20):
 
 
 class TestLimits:
-    def test_max_commands_raises_deadlock_error(self):
+    def test_max_commands_raises_budget_error(self):
         system = MemorySystem(ddr4_baseline())
         cores = [TraceCore(seq_trace(100), CoreConfig(), core_id=0)]
-        with pytest.raises(DeadlockError):
+        with pytest.raises(CommandBudgetExceeded):
             Simulator(system, cores).run(max_commands=3)
+
+    def test_budget_error_is_not_a_deadlock(self):
+        """Budget exhaustion must not masquerade as a modelling bug."""
+        system = MemorySystem(ddr4_baseline())
+        cores = [TraceCore(seq_trace(100), CoreConfig(), core_id=0)]
+        with pytest.raises(CommandBudgetExceeded) as exc:
+            Simulator(system, cores).run(max_commands=3)
+        assert not isinstance(exc.value, DeadlockError)
 
     def test_write_only_trace_completes(self):
         t = Trace.from_entries(
