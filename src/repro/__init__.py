@@ -15,9 +15,20 @@ Typical use::
 The experiment runners that regenerate every paper figure live in
 :mod:`repro.sim.experiments`; the area model in :mod:`repro.core.area`;
 the Fig. 4 trace study in :mod:`repro.analysis.plane_conflict`.
+
+To see *where the cycles go*, pass ``observe=True`` (or an
+:class:`ObserveOptions`) to :func:`run_traces`: the result then carries
+an :class:`AccountingReport` attributing every channel cycle to one
+:class:`StallBucket` (``docs/OBSERVABILITY.md`` documents the buckets,
+the trace schema, and the ``repro stats`` / ``repro trace`` CLI).
 """
 
 from repro.core.mechanisms import EruConfig
+from repro.sim.accounting import (
+    AccountingReport,
+    ObserveOptions,
+    StallBucket,
+)
 from repro.cpu.core import CoreConfig, TraceCore
 from repro.cpu.trace import Trace, TraceEntry
 from repro.sim.config import (
@@ -42,13 +53,16 @@ from repro.sim.simulator import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AccountingReport",
     "CoreConfig",
     "EruConfig",
     "ExperimentContext",
     "ExperimentSettings",
     "MemorySystem",
+    "ObserveOptions",
     "SimulationResult",
     "Simulator",
+    "StallBucket",
     "SystemConfig",
     "Trace",
     "TraceCore",

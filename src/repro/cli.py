@@ -4,18 +4,26 @@
 
     python -m repro list
     python -m repro fig12 --mixes mix0,mix3 --accesses 1500
+    python -m repro fig12 --emit-stats out/          # + JSON sidecars
     python -m repro fig14 --accesses 1000
     python -m repro fig11
     python -m repro fig4 --accesses 3000
     python -m repro run --config vsb --mix mix0
+    python -m repro stats --config vsb --mix mix0 --per-bank
+    python -m repro trace --config vsb --mix mix0 --limit 50
 
-Each sub-command prints the same rows as the corresponding benchmark in
-``benchmarks/`` (the benches add assertions and timing on top).
+Each figure sub-command prints the same rows as the corresponding
+benchmark in ``benchmarks/`` (the benches add assertions and timing on
+top).  ``stats`` and ``trace`` expose the cycle-accounting layer
+(:mod:`repro.sim.accounting`): ``stats`` attributes every channel cycle
+to one stall bucket, ``trace`` streams the per-command event log; both
+are documented in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 from repro.core.mechanisms import EruConfig
@@ -23,6 +31,7 @@ from repro.sim import config as cfgs
 from repro.sim.experiments import (
     ExperimentContext,
     ExperimentSettings,
+    emit_stats_sidecars,
     fig12,
     fig13,
     fig14,
@@ -61,7 +70,33 @@ def _context(args) -> ExperimentContext:
     jobs = getattr(args, "jobs", 1)
     if jobs <= 0:
         jobs = default_workers()
-    return ExperimentContext(_settings(args), jobs=jobs)
+    observe = getattr(args, "emit_stats", None) is not None
+    return ExperimentContext(_settings(args), jobs=jobs, observe=observe)
+
+
+def _emit_sidecars(context: ExperimentContext, args,
+                   prefix: str = "") -> None:
+    """Write stall-attribution sidecars if ``--emit-stats`` was given."""
+    directory = getattr(args, "emit_stats", None)
+    if directory is None:
+        return
+    for path in emit_stats_sidecars(context, directory, prefix=prefix):
+        print(f"wrote {path}")
+
+
+def _observed_run(args, trace: bool = False, trace_limit=None):
+    """Run one (config, mix) cell with the observability layer on."""
+    from repro.sim.accounting import ObserveOptions
+    from repro.sim.simulator import run_traces
+    from repro.workloads.mixes import mix_traces
+    factory = CONFIG_FACTORIES.get(args.config)
+    if factory is None:
+        raise SystemExit(f"unknown config {args.config!r}; see 'list'")
+    config = factory()
+    traces = mix_traces(args.mix, args.accesses,
+                        fragmentation=args.fragmentation, seed=args.seed)
+    observe = ObserveOptions(trace=trace, trace_limit=trace_limit)
+    return run_traces(config, traces, observe=observe)
 
 
 def cmd_list(args) -> None:
@@ -70,6 +105,7 @@ def cmd_list(args) -> None:
         print(f"  {name:14s} -> {CONFIG_FACTORIES[name]().name}")
     print("mixes:", ", ".join(MIX_NAMES))
     print("experiments: fig4 fig11 fig12 fig13 fig14 fig15 fig16")
+    print("observability: stats trace (and --emit-stats on figures)")
 
 
 def cmd_run(args) -> None:
@@ -92,6 +128,45 @@ def cmd_run(args) -> None:
     print(f"plane-conflict precharges: "
           f"{result.plane_conflict_precharge_fraction:.1%}")
     print(f"elapsed: {result.elapsed_ps / 1e6:.1f} us simulated")
+
+
+def cmd_stats(args) -> None:
+    """``repro stats``: full stall attribution for one (config, mix)."""
+    result = _observed_run(args)
+    report = result.accounting
+    report.verify()
+    print(report.format_table(per_bank=args.per_bank))
+    if args.json:
+        with open(args.json, "w") as fh:
+            report.write_json(fh)
+        print(f"wrote {args.json}")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write("\n".join(
+                ",".join(str(v) for v in row)
+                for row in report.bucket_csv_rows()) + "\n")
+        print(f"wrote {args.csv}")
+
+
+def cmd_trace(args) -> None:
+    """``repro trace``: per-command event log for one (config, mix)."""
+    result = _observed_run(args, trace=True, trace_limit=args.limit)
+    sink = result.trace
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.format == "csv":
+            sink.write_csv(out)
+        else:
+            sink.write_jsonl(out)
+    finally:
+        if args.output:
+            out.close()
+            print(f"wrote {len(sink)} events to {args.output}"
+                  + (f" ({sink.dropped} dropped past --limit)"
+                     if sink.dropped else ""))
+    if not args.output and sink.dropped:
+        print(f"# {sink.dropped} events dropped past --limit",
+              file=sys.stderr)
 
 
 def cmd_fig4(args) -> None:
@@ -133,6 +208,7 @@ def cmd_fig12(args) -> None:
     for config, row in norm.items():
         cells = " ".join(f"{row[m]:6.3f}" for m in mixes)
         print(f"{config:36s} {cells} {gmeans[config]:7.3f}")
+    _emit_sidecars(context, args, prefix="fig12__")
 
 
 def cmd_fig13(args) -> None:
@@ -142,6 +218,7 @@ def cmd_fig13(args) -> None:
               f"ws={p.normalized_ws:5.3f} "
               f"plane-pre={p.plane_precharge_fraction:5.1%} "
               f"ewlr={p.ewlr_hit_rate:5.1%}")
+    _emit_sidecars(context, args, prefix="fig13__")
 
 
 def cmd_fig14(args) -> None:
@@ -149,12 +226,14 @@ def cmd_fig14(args) -> None:
     for p in fig14(context):
         print(f"{p.config:30s} {p.bus_frequency_hz / 1e9:4.2f}GHz "
               f"ws={p.normalized_ws:5.3f}")
+    _emit_sidecars(context, args, prefix="fig14__")
 
 
 def cmd_fig15(args) -> None:
     context = _context(args)
     for name, value in fig15(context).items():
         print(f"{name:36s} {value:6.3f}")
+    _emit_sidecars(context, args, prefix="fig15__")
 
 
 def cmd_fig16(args) -> None:
@@ -168,6 +247,7 @@ def cmd_fig16(args) -> None:
               f"{s['mean']:6.1f}/{s['median']:6.1f}/{s['q3']:6.1f} ns"
               f"   energy bg/act/total = {rel['background']:.1%}/"
               f"{rel['activation']:.1%}/{rel['total']:.1%}")
+    _emit_sidecars(context, args, prefix="fig16__")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,11 +270,46 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="configurations, mixes, experiments"
                    ).set_defaults(func=cmd_list)
 
-    run = common(sub.add_parser("run", help="one config on one mix"))
-    run.add_argument("--config", default="vsb",
-                     choices=sorted(CONFIG_FACTORIES))
-    run.add_argument("--mix", default="mix0", choices=MIX_NAMES)
+    def cell(p):
+        """--config/--mix selectors shared by run/stats/trace."""
+        p.add_argument("--config", default="vsb",
+                       choices=sorted(CONFIG_FACTORIES))
+        p.add_argument("--mix", default="mix0", choices=MIX_NAMES)
+        return p
+
+    run = cell(common(sub.add_parser(
+        "run", help="one config on one mix")))
     run.set_defaults(func=cmd_run)
+
+    stats = cell(common(sub.add_parser(
+        "stats", help="stall attribution for one config on one mix",
+        description="Run one (config, mix) cell with cycle accounting "
+                    "and print the stall-attribution table: every "
+                    "channel cycle filed under exactly one bucket "
+                    "(the buckets sum to the wall time).  See "
+                    "docs/OBSERVABILITY.md for bucket meanings.")))
+    stats.add_argument("--per-bank", action="store_true",
+                       help="append the per-(sub-)bank breakdown")
+    stats.add_argument("--json", metavar="FILE",
+                       help="also write the report as JSON")
+    stats.add_argument("--csv", metavar="FILE",
+                       help="also write per-channel buckets as CSV")
+    stats.set_defaults(func=cmd_stats)
+
+    trace = cell(common(sub.add_parser(
+        "trace", help="per-command event trace for one config on one mix",
+        description="Run one (config, mix) cell with event tracing and "
+                    "stream one record per DRAM command (issue time, "
+                    "bank/sub-bank, kind, stall bucket, wait).  See "
+                    "docs/OBSERVABILITY.md for the schema.")))
+    trace.add_argument("--limit", type=int, default=None,
+                       help="keep at most N events (excess is counted, "
+                            "not stored)")
+    trace.add_argument("--format", choices=("jsonl", "csv"),
+                       default="jsonl")
+    trace.add_argument("--output", metavar="FILE",
+                       help="write to FILE instead of stdout")
+    trace.set_defaults(func=cmd_trace)
 
     for name, func, needs_mixes in (
             ("fig4", cmd_fig4, False), ("fig11", cmd_fig11, False),
@@ -207,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
         if needs_mixes:
             p.add_argument("--mixes", default="mix0,mix3,mix6",
                            help="comma-separated mix subset")
+            p.add_argument("--emit-stats", metavar="DIR", default=None,
+                           help="run observed and write one stall-"
+                                "attribution JSON sidecar per "
+                                "(config, mix) cell into DIR")
         p.set_defaults(func=func)
     return parser
 

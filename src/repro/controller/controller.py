@@ -48,15 +48,23 @@ class ControllerStats:
 
 
 class ChannelController:
-    """Drives one :class:`~repro.dram.device.Channel`."""
+    """Drives one :class:`~repro.dram.device.Channel`.
+
+    ``observer`` is an optional
+    :class:`~repro.sim.accounting.CommandObserver` fed from the commit
+    path (cycle accounting + event tracing).  It is a pure observer --
+    it never influences scheduling -- and when absent the controller
+    pays a single ``is None`` check per event.
+    """
 
     def __init__(self, channel: Channel,
                  queue_config: QueueConfig = QueueConfig(),
-                 idle_close_ps=None) -> None:
+                 idle_close_ps=None, observer=None) -> None:
         self.channel = channel
         self.queues = TransactionQueues(queue_config)
         self.scheduler = Scheduler(channel, self.queues, idle_close_ps)
         self.stats = ControllerStats()
+        self.observer = observer
 
     # -- admission ---------------------------------------------------------
 
@@ -64,6 +72,9 @@ class ChannelController:
         return self.queues.has_room(is_read)
 
     def enqueue(self, txn: Transaction, time: int) -> None:
+        obs = self.observer
+        if obs is not None and not self.queues.pending():
+            obs.note_nonempty(time)
         self.queues.enqueue(txn, time)
         self.scheduler.note_enqueue(txn)
 
@@ -83,13 +94,20 @@ class ChannelController:
         """Issue the candidate; returns transactions completed by it."""
         txn = candidate.txn
         time = candidate.issue_time
+        obs = self.observer
+        # Floors must be read before the issue mutates channel state.
+        floors = obs.floors_for(candidate) if obs is not None else None
         self.stats.commands_issued += 1
         if candidate.kind is CommandKind.PRE:
             bank_index, slot = candidate.victim
-            self.channel.issue_precharge(bank_index, slot, time,
-                                         candidate.cause)
+            partial = self.channel.issue_precharge(bank_index, slot, time,
+                                                   candidate.cause)
             self.scheduler.note_bank_change(bank_index)
             self.stats.precharges += 1
+            if obs is not None:
+                obs.on_command(candidate, floors, ewlr_hit=False,
+                               partial=partial,
+                               queue_empty_after=not self.queues.pending())
             return []
         c = txn.coords
         if candidate.kind is CommandKind.ACT:
@@ -98,6 +116,10 @@ class ChannelController:
             self.stats.acts += 1
             if ewlr_hit:
                 self.stats.ewlr_hits += 1
+            if obs is not None:
+                obs.on_command(candidate, floors, ewlr_hit=ewlr_hit,
+                               partial=False,
+                               queue_empty_after=not self.queues.pending())
             return []
         is_write = candidate.kind is CommandKind.WR
         data_end = self.channel.issue_column(c, time, is_write)
@@ -107,4 +129,8 @@ class ChannelController:
         self.stats.columns += 1
         if txn.is_read:
             self.stats.read_latencies.append(txn.queueing_latency)
+        if obs is not None:
+            obs.on_command(candidate, floors, ewlr_hit=False,
+                           partial=False,
+                           queue_empty_after=not self.queues.pending())
         return [txn]

@@ -29,6 +29,14 @@ the anti-thrashing guard, and the bank-side earliest issue times -- only
 reads state of the transaction's own bank.  Ties are broken by a
 deterministic per-transaction sequence number (queue order), so both
 paths agree bit-for-bit regardless of enumeration order.
+
+Observability (:mod:`repro.sim.accounting`) is orthogonal to both
+paths: the controller reads the winning candidate's floor decomposition
+(``Channel.explain_*``) *after* selection and *before* commit, so the
+observer sees exactly the pre-issue device state the scheduler
+consulted, and neither selection path ever branches on whether an
+observer is attached -- the digest-equality tests in
+``tests/sim/test_accounting.py`` hold for both.
 """
 
 from __future__ import annotations

@@ -82,6 +82,8 @@ def latch_bits(planes: int, ewlr: bool) -> int:
 
 
 def latch_set_area_um2(planes: int, ewlr: bool) -> float:
+    """Die area of one plane latch set, scaled from the paper's
+    synthesised 40b (plain) / 48b (EWLR) latch figures."""
     per_bit = (LATCH_SET_48B_UM2 / LATCH_BITS_EWLR if ewlr
                else LATCH_SET_40B_UM2 / LATCH_BITS_PLAIN)
     return per_bit * latch_bits(planes, ewlr)

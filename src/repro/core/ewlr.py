@@ -40,6 +40,12 @@ class EwlrRange:
 
 def ewlr_range(layout: RowLayout, row: int, subbank: int,
                rap: bool) -> EwlrRange:
+    """The (plane, MWL tag) range activating this row would occupy.
+
+    Two rows in paired sub-banks can coexist exactly when their ranges
+    are equal (Section IV: same raised main wordline, per-sub-bank
+    LWL_SEL latches select different local wordlines under it).
+    """
     return EwlrRange(plane=layout.plane_id(row, subbank, rap),
                      mwl_tag=layout.mwl_tag(row))
 

@@ -35,6 +35,8 @@ class EruConfig:
 
     @property
     def name(self) -> str:
+        """The paper's label for this combination, e.g.
+        ``VSB(EWLR+RAP,4P)+DDB`` (the Fig. 12 legend)."""
         if not (self.ewlr or self.rap or self.ddb):
             return f"VSB(naive,{self.planes}P)"
         parts = []
@@ -73,14 +75,20 @@ class EruConfig:
 
     @classmethod
     def naive_ddb(cls, planes: int = 4) -> "EruConfig":
+        """Naive VSB plus the dual data bus -- isolates DDB's
+        contribution from conflict avoidance (Fig. 12/13)."""
         return cls(planes=planes, ewlr=False, rap=False, ddb=True)
 
     @classmethod
     def ewlr_only(cls, planes: int = 4, ddb: bool = True) -> "EruConfig":
+        """EWLR without RAP: conflict avoidance by shared main
+        wordlines alone (a Fig. 13 ablation arm)."""
         return cls(planes=planes, ewlr=True, rap=False, ddb=ddb)
 
     @classmethod
     def rap_only(cls, planes: int = 4, ddb: bool = True) -> "EruConfig":
+        """RAP without EWLR: conflict avoidance by plane permutation
+        alone (a Fig. 13 ablation arm)."""
         return cls(planes=planes, ewlr=False, rap=True, ddb=ddb)
 
     @classmethod

@@ -63,9 +63,16 @@ class SubbankPairState:
         self.active: list = [None, None]
 
     def plane_of(self, row: int, subbank: int) -> int:
+        """The plane latch set this row selects in this sub-bank.
+
+        With RAP enabled the selection is permuted per sub-bank
+        (Section IV-D), which is exactly what de-aliases same-plane
+        collisions between the two sub-banks.
+        """
         return self.layout.plane_id(row, subbank, self.rap_enabled)
 
     def open_row(self, subbank: int) -> Optional[int]:
+        """The sub-bank's active row, or ``None`` when precharged."""
         return self.active[subbank]
 
     def classify(self, subbank: int, row: int) -> ActivationVerdict:
@@ -93,6 +100,12 @@ class SubbankPairState:
         return ActivationVerdict.PLANE_CONFLICT
 
     def activate(self, subbank: int, row: int) -> None:
+        """Open ``row`` in ``subbank``; must be legal per Fig. 5.
+
+        Raises ``ValueError`` on a conflicting activation -- the
+        scheduler is expected to have issued the precharge the
+        :meth:`classify` verdict called for first.
+        """
         verdict = self.classify(subbank, row)
         if verdict not in (ActivationVerdict.ACT_OK,
                            ActivationVerdict.EWLR_HIT):
@@ -101,6 +114,7 @@ class SubbankPairState:
         self.active[subbank] = row
 
     def precharge(self, subbank: int) -> None:
+        """Close the sub-bank's open row, releasing its plane latch."""
         if self.active[subbank] is None:
             raise ValueError(f"sub-bank {subbank} has no open row")
         self.active[subbank] = None

@@ -1,0 +1,13 @@
+"""The timed DRAM device model one memory controller drives.
+
+:mod:`repro.dram.timing` holds the Tab. I / Tab. III parameter presets
+(including ERUCA's ``tTCW`` / ``tTWTRW`` bus windows);
+:mod:`repro.dram.bank` the per-bank/sub-bank/MASA-group FSMs (with
+partial precharge, Section VI-A); :mod:`repro.dram.resources` the
+channel-shared trackers (command bus, data bus, CAS windows, ``tRRD``)
+for the bank-group / ideal / DDB bus policies;
+:mod:`repro.dram.device` the :class:`~repro.dram.device.Channel` facade
+tying them together; :mod:`repro.dram.power` the event-counting energy
+meter (Fig. 16b); and :mod:`repro.dram.validation` a post-hoc command-
+log legality checker.
+"""

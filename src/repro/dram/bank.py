@@ -81,6 +81,7 @@ class BankGeometry:
         return self.row_bits - bits
 
     def group_of(self, row: int) -> int:
+        """The MASA sub-array group this row belongs to (0 if none)."""
         if self.subarray_groups == 1:
             return 0
         return row >> self.group_shift
@@ -112,9 +113,11 @@ class Bank:
     # -- addressing -----------------------------------------------------
 
     def slot_key(self, subbank: int, row: int) -> SlotKey:
+        """The (sub-bank, sub-array group) slot serving this row."""
         return (subbank, self.geometry.group_of(row))
 
     def slot(self, subbank: int, row: int) -> RowSlot:
+        """The :class:`RowSlot` serving (subbank, row)."""
         return self.slots[self.slot_key(subbank, row)]
 
     def _plane_of(self, row: int, subbank: int) -> int:
@@ -169,6 +172,8 @@ class Bank:
     # -- timed state transitions -----------------------------------------
 
     def earliest_act(self, subbank: int, row: int) -> int:
+        """Earliest ACT time for this slot (``tRP`` from its precharge
+        and ``tRC`` from its previous ACT)."""
         return self.slot(subbank, row).act_allowed
 
     def earliest_column(self, subbank: int, row: int) -> int:
@@ -189,9 +194,13 @@ class Bank:
         return ready
 
     def earliest_precharge(self, key: SlotKey) -> int:
+        """Earliest PRE time for this slot (``tRAS``, ``tRTP``, and
+        write recovery ``tWR`` after the last write's data burst)."""
         return self.slots[key].pre_allowed
 
     def do_activate(self, subbank: int, row: int, time: int) -> None:
+        """Open ``row``: set the slot's ``tRCD``/``tRAS``/``tRC``
+        horizons and cache its plane/MWL tag for classify()."""
         verdict, _ = self.classify(subbank, row)
         if verdict not in (ActivationVerdict.ACT_OK,
                            ActivationVerdict.EWLR_HIT):
@@ -213,6 +222,8 @@ class Bank:
 
     def do_column(self, subbank: int, row: int, time: int,
                   is_write: bool) -> None:
+        """Apply a RD/WR: push the slot's precharge horizon (``tRTP``,
+        or ``tWR`` past the write burst) and the MASA ``tSA`` tracker."""
         key = self.slot_key(subbank, row)
         slot = self.slots[key]
         if slot.active_row != row:
@@ -230,6 +241,7 @@ class Bank:
         slot.last_use = time
 
     def do_precharge(self, key: SlotKey, time: int) -> None:
+        """Close the slot's row; the next ACT waits ``tRP`` from here."""
         slot = self.slots[key]
         if slot.active_row is None:
             raise ValueError("precharge of an idle slot")

@@ -30,6 +30,7 @@ class CommandKind(enum.Enum):
 
     @property
     def is_precharge(self) -> bool:
+        """Both full and ERUCA partial precharges close a row slot."""
         return self in (CommandKind.PRE, CommandKind.PRE_PARTIAL)
 
 

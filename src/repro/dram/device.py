@@ -20,7 +20,7 @@ from repro.core.subbank import ActivationVerdict
 from repro.dram.bank import Bank, BankGeometry, SlotKey
 from repro.dram.commands import PrechargeCause
 from repro.dram.power import EnergyMeter, EnergyParams
-from repro.dram.resources import BusPolicy, ChannelResources
+from repro.dram.resources import FLOOR_BANK, BusPolicy, ChannelResources
 from repro.dram.timing import TimingParams
 
 
@@ -60,26 +60,31 @@ class Channel:
     # -- addressing ------------------------------------------------------
 
     def bank_index(self, coords: DramCoordinates) -> int:
+        """Flat bank index of (bank group, bank) within the channel."""
         return coords.bank_group * self.banks_per_group + coords.bank
 
     def bank(self, coords: DramCoordinates) -> Bank:
+        """The :class:`~repro.dram.bank.Bank` serving these coords."""
         return self.banks[self.bank_index(coords)]
 
     # -- classification ---------------------------------------------------
 
     def classify(self, coords: DramCoordinates
                  ) -> Tuple[ActivationVerdict, Optional[SlotKey]]:
+        """Fig. 5 activation verdict (and victim slot) for these coords."""
         return self.bank(coords).classify(coords.subbank, coords.row)
 
     # -- earliest legal issue times ---------------------------------------
 
     def earliest_act(self, coords: DramCoordinates) -> int:
+        """Earliest legal ACT: command bus, ``tRRD``, and the slot FSM."""
         bank = self.bank(coords)
         return max(self.resources.earliest_act(),
                    bank.earliest_act(coords.subbank, coords.row))
 
     def earliest_column(self, coords: DramCoordinates,
                         is_write: bool) -> int:
+        """Earliest legal RD/WR: shared CAS/bus windows + ``tRCD``."""
         bank = self.bank(coords)
         return max(
             self.resources.earliest_column(
@@ -88,8 +93,38 @@ class Channel:
         )
 
     def earliest_precharge(self, bank_index: int, slot: SlotKey) -> int:
+        """Earliest legal PRE: command bus + the slot's ``tRAS``/``tWR``
+        horizons."""
         return max(self.resources.earliest_precharge(),
                    self.banks[bank_index].earliest_precharge(slot))
+
+    # -- explain API (cycle accounting) -----------------------------------
+    #
+    # The ``explain_*`` methods mirror their ``earliest_*`` twins as
+    # tagged (tag, time) floors: the max floor time equals the earliest
+    # legal issue time exactly.  They must be called *before* the
+    # command is issued (they read pre-issue state) and exist only for
+    # observability -- the scheduler never calls them.
+
+    def explain_act(self, coords: DramCoordinates) -> list:
+        """Tagged floors of :meth:`earliest_act` for these coordinates."""
+        bank = self.bank(coords)
+        return self.resources.act_floors() + [
+            (FLOOR_BANK, bank.earliest_act(coords.subbank, coords.row))]
+
+    def explain_column(self, coords: DramCoordinates,
+                       is_write: bool) -> list:
+        """Tagged floors of :meth:`earliest_column`."""
+        bank = self.bank(coords)
+        return self.resources.column_floors(
+            is_write, coords.bank_group, self.bank_index(coords)) + [
+            (FLOOR_BANK,
+             bank.earliest_column(coords.subbank, coords.row))]
+
+    def explain_precharge(self, bank_index: int, slot: SlotKey) -> list:
+        """Tagged floors of :meth:`earliest_precharge`."""
+        return self.resources.precharge_floors() + [
+            (FLOOR_BANK, self.banks[bank_index].earliest_precharge(slot))]
 
     # -- committed issues --------------------------------------------------
 
@@ -151,5 +186,6 @@ class Channel:
     # -- introspection -----------------------------------------------------
 
     def open_row(self, coords: DramCoordinates) -> Optional[int]:
+        """The row open in the slot these coords map to, if any."""
         bank = self.bank(coords)
         return bank.slot(coords.subbank, coords.row).active_row

@@ -64,37 +64,45 @@ class EnergyMeter:
     writes: int = 0
 
     def record_act(self, ewlr_hit: bool = False) -> None:
+        """Count an ACT; EWLR hits are cheaper (Section IV's 18% Vpp)."""
         self.activations += 1
         if ewlr_hit:
             self.ewlr_hit_activations += 1
 
     def record_precharge(self, partial: bool = False) -> None:
+        """Count a PRE, noting ERUCA partial precharges (Section VI-A)."""
         self.precharges += 1
         if partial:
             self.partial_precharges += 1
 
     def record_read(self) -> None:
+        """Count one read burst."""
         self.reads += 1
 
     def record_write(self) -> None:
+        """Count one write burst."""
         self.writes += 1
 
     # -- energy roll-ups (nJ) -------------------------------------------
 
     def activation_energy_nj(self) -> float:
+        """ACT+PRE energy, net of EWLR-hit savings (Fig. 16b "act")."""
         p = self.params
         base = self.activations * p.act_nj * p.act_scale
         saved = self.ewlr_hit_activations * p.ewlr_hit_saving_nj
         return base - saved + self.precharges * p.pre_nj
 
     def access_energy_nj(self) -> float:
+        """RD/WR burst energy."""
         return self.reads * self.params.rd_nj + \
             self.writes * self.params.wr_nj
 
     def background_energy_nj(self, elapsed_ps: int) -> float:
+        """Standby power integrated over the run (Fig. 16b "bg")."""
         return self.params.background_w * elapsed_ps / PS_PER_S * 1e9
 
     def total_energy_nj(self, elapsed_ps: int) -> float:
+        """Activation + access + background (the Fig. 16b total bar)."""
         return (self.activation_energy_nj() + self.access_energy_nj()
                 + self.background_energy_nj(elapsed_ps))
 

@@ -31,6 +31,9 @@ from repro.dram.timing import TimingParams
 
 
 class BusPolicy(enum.Enum):
+    """Which CAS-window scoping rules a channel uses (module docstring,
+    Tab. III's Baseline / Ideal / DDB timing columns)."""
+
     BANK_GROUPS = "bank_groups"
     NO_GROUPS = "no_groups"
     DDB = "ddb"
@@ -38,6 +41,15 @@ class BusPolicy(enum.Enum):
 
 #: Idle bubble inserted on the data bus when it changes direction.
 TURNAROUND_CLOCKS = 2
+
+#: Floor tags for the explain API (:meth:`ChannelResources.act_floors`
+#: and friends).  :mod:`repro.sim.accounting` maps them onto its
+#: :class:`~repro.sim.accounting.StallBucket` vocabulary.
+FLOOR_BUS = "bus"
+FLOOR_CCD_WTR_LONG = "ccd_wtr_long"
+FLOOR_DDB_WINDOW = "ddb_window"
+FLOOR_TRRD = "trrd"
+FLOOR_BANK = "bank_busy"
 
 
 class ChannelResources:
@@ -81,9 +93,11 @@ class ChannelResources:
         return self._windows_active
 
     def earliest_act(self) -> int:
+        """Channel-side ACT floor: command bus + rank-wide ``tRRD``."""
         return max(self.cmd_bus_free, self._last_act + self.timing.tRRD)
 
     def earliest_precharge(self) -> int:
+        """Channel-side PRE floor: the command bus only."""
         return self.cmd_bus_free
 
     def earliest_column(self, is_write: bool, bank_group: int,
@@ -141,13 +155,81 @@ class ChannelResources:
             best = v
         return best
 
+    # -- explain API (cycle accounting) ----------------------------------
+    #
+    # Each ``*_floors`` method decomposes the matching ``earliest_*``
+    # query into tagged (tag, time) constraints such that
+    # ``max(time for _, time in floors) == earliest_*(...)`` exactly --
+    # property-tested in tests/sim/test_accounting.py.  They run only
+    # when a run is observed, so they may build lists the hot path
+    # avoids.
+
+    def act_floors(self) -> list:
+        """Tagged decomposition of :meth:`earliest_act`."""
+        return [
+            (FLOOR_BUS, self.cmd_bus_free),
+            (FLOOR_TRRD, self._last_act + self.timing.tRRD),
+        ]
+
+    def precharge_floors(self) -> list:
+        """Tagged decomposition of :meth:`earliest_precharge`."""
+        return [(FLOOR_BUS, self.cmd_bus_free)]
+
+    def column_floors(self, is_write: bool, bank_group: int,
+                      bank: int) -> list:
+        """Tagged decomposition of :meth:`earliest_column`.
+
+        The long CAS windows (``tCCD_L``/``tWTR_L`` -- what DDB
+        relaxes) and the DDB guard windows (``tTCW``/``tTWTRW``) get
+        their own tags; the command bus, short CAS spacing, and
+        data-bus occupancy/turnaround all file under the generic bus
+        tag.
+        """
+        t = self.timing
+        floors = [
+            (FLOOR_BUS, self.cmd_bus_free),
+            (FLOOR_BUS, self._last_cas_any + t.tCCD_S),
+        ]
+        policy = self.policy
+        if policy is BusPolicy.BANK_GROUPS:
+            floors.append((FLOOR_CCD_WTR_LONG,
+                           self._last_cas_bg[bank_group] + t.tCCD_L))
+        elif policy is BusPolicy.DDB:
+            floors.append((FLOOR_CCD_WTR_LONG,
+                           self._last_cas_bank[bank] + t.tCCD_L))
+            if self._windows_active:
+                floors.append((FLOOR_DDB_WINDOW,
+                               self._cas_window[bank_group][0] + t.tTCW))
+        if not is_write:
+            floors.append((FLOOR_BUS, self._wr_end_any + t.tWTR_S))
+            if policy is BusPolicy.BANK_GROUPS:
+                floors.append((FLOOR_CCD_WTR_LONG,
+                               self._wr_end_bg[bank_group] + t.tWTR_L))
+            elif policy is BusPolicy.DDB:
+                floors.append((FLOOR_CCD_WTR_LONG,
+                               self._wr_end_bank[bank] + t.tWTR_L))
+                if self._windows_active:
+                    floors.append(
+                        (FLOOR_DDB_WINDOW,
+                         self._wr_window[bank_group][0] + t.tTWTRW))
+        last_write = self._last_data_write
+        if last_write is not None and last_write != is_write:
+            v = (self._last_data_end + TURNAROUND_CLOCKS * t.tCK
+                 - (t.tCWL if is_write else t.tCL))
+        else:
+            v = self._last_data_end - (t.tCWL if is_write else t.tCL)
+        floors.append((FLOOR_BUS, v))
+        return floors
+
     # -- recorders -------------------------------------------------------
 
     def record_act(self, time: int) -> None:
+        """Commit an ACT: advance the ``tRRD`` anchor and command bus."""
         self._last_act = time
         self.cmd_bus_free = max(self.cmd_bus_free, time + self.timing.tCK)
 
     def record_precharge(self, time: int) -> None:
+        """Commit a PRE: it only occupies the command bus for a clock."""
         self.cmd_bus_free = max(self.cmd_bus_free, time + self.timing.tCK)
 
     def record_column(self, time: int, is_write: bool, bank_group: int,

@@ -106,6 +106,8 @@ class TimingParams:
 
     @property
     def bus_frequency_hz(self) -> float:
+        """Channel command-clock frequency implied by ``tCK`` (the
+        Fig. 14 sweep's x-axis)."""
         return 1e12 / self.tCK
 
     def replace(self, **changes: int) -> "TimingParams":

@@ -54,14 +54,22 @@ class ExperimentContext:
 
     ``disk_cache`` (on by default) persists alone-IPC runs across
     invocations; pass ``disk_cache=False`` for a hermetic context.
+
+    ``observe`` attaches cycle accounting (:mod:`repro.sim.accounting`)
+    to every mix run, so each cached result carries a stall-attribution
+    report that :func:`emit_stats_sidecars` can export next to the
+    figure tables.  Alone-IPC runs are never observed -- only their
+    scalar IPC is kept.  Observation never changes any table value.
     """
 
     def __init__(self, settings: ExperimentSettings = ExperimentSettings(),
                  core_config: CoreConfig = CoreConfig(),
-                 jobs: int = 1, disk_cache: bool = True) -> None:
+                 jobs: int = 1, disk_cache: bool = True,
+                 observe: bool = False) -> None:
         self.settings = settings
         self.core_config = core_config
         self.jobs = jobs
+        self.observe = observe
         self.disk_cache: Optional[AloneIpcDiskCache] = (
             AloneIpcDiskCache() if disk_cache else None)
         self._trace_cache: Dict[tuple, List[Trace]] = {}
@@ -127,7 +135,8 @@ class ExperimentContext:
         result = self._result_cache.get(key)
         if result is None:
             result = run_traces(config, self.traces(mix, frag),
-                                core_config=cc)
+                                core_config=cc,
+                                observe=self.observe or None)
             self._result_cache[key] = result
         return result
 
@@ -190,7 +199,7 @@ class ExperimentContext:
             jobs.append(SimJob(
                 config=config, accesses=s.accesses_per_core,
                 fragmentation=frag, seed=s.seed, core_config=cc,
-                mix=mix))
+                mix=mix, observe=self.observe))
             slots.append(("result", rkey))
         if not jobs:
             return
@@ -457,3 +466,49 @@ def fig16(context: ExperimentContext) -> List[LatencyEnergyRow]:
             background_energy=background, activation_energy=activation,
             total_energy=total))
     return rows
+
+
+# -- stall-attribution sidecars ----------------------------------------------
+
+
+def slug(name: str) -> str:
+    """Filesystem-safe slug of a config name (``VSB(EWLR+RAP,4P)+DDB``
+    becomes ``vsb-ewlr-rap-4p-ddb``)."""
+    out = []
+    for ch in name.lower():
+        out.append(ch if ch.isalnum() else "-")
+    collapsed = "-".join(p for p in "".join(out).split("-") if p)
+    return collapsed or "config"
+
+
+def emit_stats_sidecars(context: ExperimentContext, directory: str,
+                        prefix: str = "") -> List[str]:
+    """Write one JSON stall-attribution sidecar per observed mix run.
+
+    Walks every result the context has cached so far (i.e. everything
+    the figure runners executed) and, for each one that carries an
+    accounting report, writes ``<prefix><config-slug>__<mix>.json`` with
+    the report's :meth:`~repro.sim.accounting.AccountingReport.to_dict`
+    schema (documented in ``docs/OBSERVABILITY.md``).  Returns the paths
+    written, sorted.  Runs without accounting (``observe=False``) are
+    skipped silently, so the helper is safe to call unconditionally.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    for (config, mix, frag, _cc), result in sorted(
+            context._result_cache.items(),
+            key=lambda kv: (kv[0][0].name, kv[0][1], kv[0][2])):
+        report = result.accounting
+        if report is None:
+            continue
+        report.verify()
+        name = f"{prefix}{slug(config.name)}__{mix}"
+        if frag != context.settings.fragmentation:
+            name += f"__frag{frag:g}"
+        path = os.path.join(directory, name + ".json")
+        with open(path, "w") as fh:
+            report.write_json(fh)
+        paths.append(path)
+    return sorted(paths)

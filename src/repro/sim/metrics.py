@@ -17,6 +17,25 @@ import math
 from typing import Dict, Iterable, Sequence
 
 
+def rate(part: float, whole: float) -> float:
+    """``part / whole``, defined as 0.0 when the denominator is zero.
+
+    The cycle-accounting roll-ups (:mod:`repro.sim.accounting`) report
+    many ratios over counters that may legitimately be zero -- a bank
+    that never saw a column command has no row-hit rate -- so the shared
+    helper makes "no events" read as 0 everywhere instead of scattering
+    guards.
+
+    >>> rate(3, 4)
+    0.75
+    >>> rate(1, 0)
+    0.0
+    """
+    if not whole:
+        return 0.0
+    return part / whole
+
+
 def weighted_speedup(shared_ipcs: Sequence[float],
                      alone_ipcs: Sequence[float]) -> float:
     """Snavely-Tullsen weighted speedup of one mix run."""

@@ -57,6 +57,10 @@ class SimJob:
     core_config: CoreConfig
     mix: Optional[str] = None
     benchmark: Optional[str] = None
+    #: Attach cycle accounting to this cell (see
+    #: :mod:`repro.sim.accounting`).  The report rides back with the
+    #: result -- plain dataclasses, so it pickles across the pool.
+    observe: bool = False
 
 
 #: Per-process trace memo: a worker that draws several cells of the
@@ -89,7 +93,8 @@ def _job_traces(job: SimJob):
 def _run_job(job: SimJob) -> SimulationResult:
     """Worker entry point: regenerate the traces and simulate."""
     return run_traces(job.config, _job_traces(job),
-                      core_config=job.core_config)
+                      core_config=job.core_config,
+                      observe=job.observe or None)
 
 
 def default_workers() -> int:

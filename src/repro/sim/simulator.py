@@ -34,20 +34,45 @@ from repro.controller.transaction import Transaction, TransactionKind
 from repro.cpu.core import BLOCKED, TraceCore
 from repro.dram.commands import PrechargeCause
 from repro.dram.power import EnergyMeter
+from repro.sim.accounting import (
+    AccountingReport,
+    CommandObserver,
+    ObserveOptions,
+    collect_report,
+)
 from repro.sim.config import SystemConfig
+from repro.sim.tracing import TraceSink
 
 
 class MemorySystem:
-    """All channels of one configuration plus its address mapping."""
+    """All channels of one configuration plus its address mapping.
 
-    def __init__(self, config: SystemConfig) -> None:
+    ``observe`` attaches the observability layer: ``True`` or an
+    :class:`~repro.sim.accounting.ObserveOptions` enables per-channel
+    cycle accounting (and optionally the per-command event trace) on
+    every controller.  Observation never changes scheduling -- the
+    command stream is bit-identical either way.
+    """
+
+    def __init__(self, config: SystemConfig,
+                 observe=None) -> None:
         self.config = config
         self.mapping = config.mapping()
-        self.controllers: List[ChannelController] = [
-            ChannelController(config.build_channel(), config.queue,
-                              config.idle_close_ps)
-            for _ in range(config.channels)
-        ]
+        if observe is True:
+            observe = ObserveOptions()
+        self.observe: Optional[ObserveOptions] = observe or None
+        self.trace: Optional[TraceSink] = (
+            self.observe.build_sink() if self.observe else None)
+        self.observers: List[Optional[CommandObserver]] = []
+        self.controllers: List[ChannelController] = []
+        for index in range(config.channels):
+            channel = config.build_channel()
+            observer = (CommandObserver(index, channel, self.trace)
+                        if self.observe else None)
+            self.observers.append(observer)
+            self.controllers.append(ChannelController(
+                channel, config.queue, config.idle_close_ps,
+                observer=observer))
         #: Memoised address routing: traces revisit rows constantly, and
         #: a failed enqueue (full queue) re-routes the same address, so
         #: decoded coordinates are cached per physical address.
@@ -87,6 +112,13 @@ class SimulationResult:
     #: Host wall-clock seconds spent in the event loop (perf counter;
     #: like peeks/candidates_built it does not feed the digest).
     wall_time_s: float = 0.0
+    #: Cycle-accounting report when the run was observed (``observe=``
+    #: on :class:`MemorySystem` / :func:`run_traces`); ``None``
+    #: otherwise.  Observability never feeds the digest.
+    accounting: Optional[AccountingReport] = None
+    #: Per-command event trace when tracing was requested; ``None``
+    #: otherwise.
+    trace: Optional[TraceSink] = None
 
     @property
     def plane_conflict_precharge_fraction(self) -> float:
@@ -288,6 +320,7 @@ class Simulator:
             for cause, n in controller.channel.precharge_causes.items():
                 causes[cause] += n
         finish = [core.finish_time() for core in self.cores]
+        elapsed = max(finish) if finish else 0
         return SimulationResult(
             config_name=self.system.config.name,
             ipcs=[core.ipc() for core in self.cores],
@@ -295,16 +328,25 @@ class Simulator:
             stats=stats,
             energy=energy,
             precharge_causes=causes,
-            elapsed_ps=max(finish) if finish else 0,
+            elapsed_ps=elapsed,
             transactions=stats.columns,
+            accounting=collect_report(self.system.config.name,
+                                      self.system.observers, elapsed),
+            trace=self.system.trace,
         )
 
 
-def run_traces(config: SystemConfig, traces, core_config=None
-               ) -> SimulationResult:
-    """Convenience: build a system, one core per trace, and run."""
+def run_traces(config: SystemConfig, traces, core_config=None,
+               observe=None) -> SimulationResult:
+    """Convenience: build a system, one core per trace, and run.
+
+    ``observe`` (``True`` or an
+    :class:`~repro.sim.accounting.ObserveOptions`) attaches cycle
+    accounting / event tracing; the result then carries
+    ``result.accounting`` (and ``result.trace``).
+    """
     from repro.cpu.core import CoreConfig
-    system = MemorySystem(config)
+    system = MemorySystem(config, observe=observe)
     cc = core_config or CoreConfig()
     cores = [TraceCore(trace, cc, core_id=i)
              for i, trace in enumerate(traces)]

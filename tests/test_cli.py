@@ -71,3 +71,55 @@ class TestExecution:
     def test_bad_mix_exits(self):
         with pytest.raises(SystemExit):
             main(["fig12", "--mixes", "nope", "--accesses", "100"])
+
+
+class TestObservability:
+    def test_stats_table_sums(self, capsys):
+        main(["stats", "--config", "vsb", "--mix", "mix0",
+              "--accesses", "200"])
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        assert "queue_empty" in out and "bank_busy" in out
+
+    def test_stats_per_bank_and_exports(self, capsys, tmp_path):
+        json_path = tmp_path / "stats.json"
+        csv_path = tmp_path / "stats.csv"
+        main(["stats", "--config", "ddr4", "--mix", "mix1",
+              "--accesses", "150", "--per-bank",
+              "--json", str(json_path), "--csv", str(csv_path)])
+        out = capsys.readouterr().out
+        assert "rowhit" in out  # the per-bank header
+        import json as json_mod
+        data = json_mod.loads(json_path.read_text())
+        assert sum(data["buckets_ps"].values()) == data["wall_ps"]
+        assert csv_path.read_text().startswith("channel,bucket,ps")
+
+    def test_trace_jsonl_to_stdout(self, capsys):
+        main(["trace", "--config", "ddr4", "--mix", "mix0",
+              "--accesses", "100", "--limit", "5"])
+        out = capsys.readouterr().out
+        import json as json_mod
+        lines = [l for l in out.splitlines() if l.startswith("{")]
+        assert len(lines) == 5
+        event = json_mod.loads(lines[0])
+        assert {"time_ps", "kind", "stall"} <= set(event)
+
+    def test_trace_csv_to_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.csv"
+        main(["trace", "--config", "vsb", "--mix", "mix0",
+              "--accesses", "100", "--format", "csv",
+              "--output", str(path)])
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("time_ps,channel,bank")
+
+    def test_fig12_emit_stats_sidecars(self, capsys, tmp_path):
+        main(["fig12", "--mixes", "mix6", "--accesses", "150",
+              "--emit-stats", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "GMEAN" in out
+        sidecars = sorted(tmp_path.glob("fig12__*__mix6.json"))
+        assert len(sidecars) == 8  # one per Fig. 12 configuration
+        import json as json_mod
+        for sidecar in sidecars:
+            data = json_mod.loads(sidecar.read_text())
+            assert sum(data["buckets_ps"].values()) == data["wall_ps"]

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Check that relative markdown links in the given files resolve.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+
+Extracts every inline markdown link/image target (``[text](target)``)
+and verifies that relative targets exist on disk, resolved against the
+containing file's directory.  External targets (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are skipped; a
+``path#anchor`` target is checked for the path part only.  Exit status
+1 if any target is missing.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+#: Inline links/images: [text](target) -- good enough for these docs;
+#: reference-style links are not used here.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: Path) -> List[str]:
+    """Return problem strings for one markdown file."""
+    problems: List[str] = []
+    text = path.read_text()
+    # Ignore fenced code blocks: they may contain example links.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{path}:{line}: broken link -> {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the process exit status."""
+    if not argv:
+        print(__doc__)
+        return 2
+    problems: List[str] = []
+    for name in argv:
+        problems.extend(check_file(Path(name)))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} broken links")
+        return 1
+    print(f"links ok: {len(argv)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

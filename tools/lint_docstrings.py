@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Fail if a public class/function in the given packages lacks a docstring.
+
+Usage::
+
+    python tools/lint_docstrings.py src/repro/core src/repro/dram ...
+
+Walks every ``.py`` file under the given paths with :mod:`ast` (the code
+is never imported, so the linter has no dependency or side-effect
+surface) and reports public definitions -- module, class, function,
+method -- without a docstring.  Exit status 1 if anything is missing.
+
+"Public" means the name has no leading underscore and none of its
+enclosing scopes do.  Conventional exemptions: ``__init__`` (documented
+by its class), other dunder methods, ``@property`` setters/deleters
+(documented by the getter), and trivial ``__init__.py`` re-export
+modules are *not* exempt -- a package docstring is exactly where a
+module map belongs.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Decorator names whose functions inherit their doc from a sibling.
+_DOC_ELSEWHERE_DECORATORS = {"setter", "deleter", "overload"}
+
+
+def _decorator_exempt(node: ast.AST) -> bool:
+    for dec in getattr(node, "decorator_list", []):
+        name = None
+        if isinstance(dec, ast.Attribute):
+            name = dec.attr
+        elif isinstance(dec, ast.Name):
+            name = dec.id
+        if name in _DOC_ELSEWHERE_DECORATORS:
+            return True
+    return False
+
+
+def _missing_in(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """Yield (line, qualified name) of public defs without docstrings."""
+    if ast.get_docstring(tree) is None:
+        yield 1, "<module>"
+
+    def walk(node: ast.AST, scope: List[str]) -> Iterator[Tuple[int, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                name = child.name
+                if name.startswith("_"):
+                    # Private (or dunder: documented by convention);
+                    # do not descend -- nothing inside is public API.
+                    continue
+                if _decorator_exempt(child):
+                    continue
+                qualified = ".".join(scope + [name])
+                if ast.get_docstring(child) is None:
+                    yield child.lineno, qualified
+                yield from walk(child, scope + [name])
+            else:
+                yield from walk(child, scope)
+
+    yield from walk(tree, [])
+
+
+def lint_paths(paths: List[str]) -> List[str]:
+    """Return "file:line: name" problem strings for all given paths."""
+    problems: List[str] = []
+    for root in paths:
+        root_path = Path(root)
+        files = ([root_path] if root_path.is_file()
+                 else sorted(root_path.rglob("*.py")))
+        for py in files:
+            tree = ast.parse(py.read_text(), filename=str(py))
+            for line, name in _missing_in(tree):
+                problems.append(f"{py}:{line}: missing docstring: {name}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the process exit status."""
+    if not argv:
+        print(__doc__)
+        return 2
+    problems = lint_paths(argv)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} public definitions lack docstrings")
+        return 1
+    print(f"docstring lint clean: {', '.join(argv)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
