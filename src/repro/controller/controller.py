@@ -59,10 +59,12 @@ class ChannelController:
 
     def __init__(self, channel: Channel,
                  queue_config: QueueConfig = QueueConfig(),
-                 idle_close_ps=None, observer=None) -> None:
+                 idle_close_ps=None, observer=None,
+                 incremental=None) -> None:
         self.channel = channel
         self.queues = TransactionQueues(queue_config)
-        self.scheduler = Scheduler(channel, self.queues, idle_close_ps)
+        self.scheduler = Scheduler(channel, self.queues, idle_close_ps,
+                                   incremental=incremental)
         self.stats = ControllerStats()
         self.observer = observer
 

@@ -20,8 +20,9 @@ Two selection paths produce *identical* command streams:
 * the **incremental** path (the default) caches the bank-local part of
   every candidate per bank and only rebuilds banks whose FSM or queue
   membership actually changed since the last peek.  Channel-shared
-  resource constraints (command/data bus, tRRD, DDB windows) change on
-  every commit, so they are re-applied cheaply at selection time.
+  resource constraints (command/data bus, tRRD, the tFAW four-activate
+  window, DDB windows) change on every commit, so they are re-applied
+  cheaply at selection time.
 
 The decomposition is exact because every bank-local input of a candidate
 -- the activation verdict, the victim slot, the pending-hit map used by

@@ -179,7 +179,7 @@ class Channel:
         if self.command_log is not None:
             from repro.dram.validation import CommandRecord
             self.command_log.append(CommandRecord(
-                "PRE", time, bank_index,
+                "PRE_PARTIAL" if partial else "PRE", time, bank_index,
                 bank_index // self.banks_per_group, slot))
         return partial
 

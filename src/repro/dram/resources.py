@@ -49,6 +49,7 @@ FLOOR_BUS = "bus"
 FLOOR_CCD_WTR_LONG = "ccd_wtr_long"
 FLOOR_DDB_WINDOW = "ddb_window"
 FLOOR_TRRD = "trrd"
+FLOOR_TFAW = "tfaw"
 FLOOR_BANK = "bank_busy"
 
 
@@ -81,6 +82,11 @@ class ChannelResources:
             [NEVER, NEVER] for _ in range(bank_groups)]
         # ACT-to-ACT (tRRD) tracker, rank-wide.
         self._last_act = NEVER
+        # tFAW: the four most recent ACT times, rank-wide (oldest first).
+        # A fifth ACT may not issue before the oldest of the last four
+        # plus the window.
+        self._act_window: List[int] = [NEVER, NEVER, NEVER, NEVER]
+        self._tfaw_active = timing.tFAW > 0
         ddb = policy is BusPolicy.DDB
         self._windows_active = (ddb and timing.tTCW > 0
                                 and timing.ddb_windows_needed())
@@ -93,8 +99,15 @@ class ChannelResources:
         return self._windows_active
 
     def earliest_act(self) -> int:
-        """Channel-side ACT floor: command bus + rank-wide ``tRRD``."""
-        return max(self.cmd_bus_free, self._last_act + self.timing.tRRD)
+        """Channel-side ACT floor: command bus, rank-wide ``tRRD``, and
+        the rolling four-activate ``tFAW`` window."""
+        t = self.timing
+        best = max(self.cmd_bus_free, self._last_act + t.tRRD)
+        if self._tfaw_active:
+            v = self._act_window[0] + t.tFAW
+            if v > best:
+                best = v
+        return best
 
     def earliest_precharge(self) -> int:
         """Channel-side PRE floor: the command bus only."""
@@ -166,10 +179,14 @@ class ChannelResources:
 
     def act_floors(self) -> list:
         """Tagged decomposition of :meth:`earliest_act`."""
-        return [
+        floors = [
             (FLOOR_BUS, self.cmd_bus_free),
             (FLOOR_TRRD, self._last_act + self.timing.tRRD),
         ]
+        if self._tfaw_active:
+            floors.append(
+                (FLOOR_TFAW, self._act_window[0] + self.timing.tFAW))
+        return floors
 
     def precharge_floors(self) -> list:
         """Tagged decomposition of :meth:`earliest_precharge`."""
@@ -224,8 +241,11 @@ class ChannelResources:
     # -- recorders -------------------------------------------------------
 
     def record_act(self, time: int) -> None:
-        """Commit an ACT: advance the ``tRRD`` anchor and command bus."""
+        """Commit an ACT: advance the ``tRRD`` anchor, roll the ``tFAW``
+        window, and occupy the command bus."""
         self._last_act = time
+        w = self._act_window
+        w[0], w[1], w[2], w[3] = w[1], w[2], w[3], time
         self.cmd_bus_free = max(self.cmd_bus_free, time + self.timing.tCK)
 
     def record_precharge(self, time: int) -> None:

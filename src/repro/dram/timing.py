@@ -76,6 +76,11 @@ class TimingParams:
     tRTP: int
     #: Burst length in beats (column transfer moves BL beats at DDR rate).
     burst_length: int = 8
+    #: Four-activate window, rank-wide: at most four ACTs may issue within
+    #: any ``tFAW`` span (a charge-pump/power-delivery limit).  Zero
+    #: disables the window.  Like the other analog core-side latencies it
+    #: is constant in nanoseconds across speed grades.
+    tFAW: int = 0
     #: ERUCA two-column-command window (per bank group, DDB only): at most
     #: two column commands may issue within this window.  Zero disables it.
     tTCW: int = 0
@@ -98,6 +103,8 @@ class TimingParams:
             raise ValueError("tWTR_L must be >= tWTR_S")
         if self.burst_length <= 0 or self.burst_length % 2:
             raise ValueError("burst_length must be a positive even beat count")
+        if self.tFAW < 0:
+            raise ValueError(f"tFAW must be >= 0, got {self.tFAW}")
 
     @property
     def burst_time(self) -> int:
@@ -163,6 +170,7 @@ def ddr4_timings(bus_frequency_hz: float = 1.333e9,
         tWR=ns(15),
         tRTP=ns(7.5),
         burst_length=8,
+        tFAW=ns(25),
     )
 
 
@@ -176,13 +184,16 @@ class GenerationSpec:
     channel_clock_mhz: str
     core_clock_mhz: str
     internal_prefetch: str
+    #: Representative four-activate window in ns ("-" before the limit was
+    #: standardised; tFAW first appears in the DDR2 specification).
+    tfaw_ns: str = "-"
 
 
 GENERATIONS = (
-    GenerationSpec("DDR", "4", "133-200", "133-200", "2n"),
-    GenerationSpec("DDR2", "4-8", "266-400", "133-200", "4n"),
-    GenerationSpec("DDR3", "8", "533-800", "133-200", "8n"),
-    GenerationSpec("DDR4", "16", "1066-1600", "133-200", "8n"),
+    GenerationSpec("DDR", "4", "133-200", "133-200", "2n", "-"),
+    GenerationSpec("DDR2", "4-8", "266-400", "133-200", "4n", "37.5-50"),
+    GenerationSpec("DDR3", "8", "533-800", "133-200", "8n", "30-45"),
+    GenerationSpec("DDR4", "16", "1066-1600", "133-200", "8n", "21-35"),
 )
 
 #: Channel frequencies swept in Fig. 14 (Hz).

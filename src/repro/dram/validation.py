@@ -30,7 +30,7 @@ class TimingViolation(AssertionError):
 class CommandRecord:
     """One issued command, as logged by the Channel."""
 
-    kind: str            # "ACT" | "RD" | "WR" | "PRE"
+    kind: str            # "ACT" | "RD" | "WR" | "PRE" | "PRE_PARTIAL"
     time: int
     bank: int            # flattened bank index
     bank_group: int
@@ -59,19 +59,27 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
 
     Rules checked (straight from the JEDEC-style definitions):
 
+    * Every command: the shared command bus carries one command per
+      channel clock, so consecutive commands must be >= tCK apart.
     * ACT: tRC from the slot's previous ACT, tRP from its precharge,
-      tRRD from any ACT on the rank, and the slot must be closed.
+      tRRD from any ACT on the rank, at most four ACTs rank-wide in any
+      tFAW window, and the slot must be closed.
     * RD/WR: tRCD from the slot's ACT, row must be open; CAS-to-CAS
       tCCD_S globally plus tCCD_L within the policy's long scope (bank
       group, or bank under DDB); DDB's tTCW (at most two column commands
       per group per window) and tTWTRW (read after two writes); write-
       to-read turnaround (tWTR_S/_L); non-overlapping data bursts with a
       turnaround bubble on direction change.
-    * PRE: tRAS from ACT, tRTP from the last read, tWR after the last
-      write burst, and the slot must be open.
+    * PRE / PRE_PARTIAL: tRAS from ACT, tRTP from the last read, tWR
+      after the last write burst, and the slot must be open.  A
+      PRE_PARTIAL (Section VI-A) additionally requires an open row in
+      the *other* sub-bank of the same bank -- without a raised MWL to
+      preserve, a partial precharge is structurally impossible.
     """
     slots: Dict[Tuple[int, SlotKey], _SlotState] = defaultdict(_SlotState)
+    last_cmd_time = NEVER
     last_act_rank = NEVER
+    act_times_rank: List[int] = []
     last_cas_any = NEVER
     last_cas_long: Dict[int, int] = defaultdict(lambda: NEVER)
     cas_times_by_group: Dict[int, List[int]] = defaultdict(list)
@@ -84,7 +92,11 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
     windows_active = (policy is BusPolicy.DDB and timing.tTCW > 0
                       and timing.ddb_windows_needed())
 
-    for i, rec in enumerate(sorted(log, key=lambda r: r.time)):
+    for rec in sorted(log, key=lambda r: r.time):
+        if rec.time < last_cmd_time + timing.tCK:
+            _fail(rec, "command bus (one command per tCK)",
+                  last_cmd_time + timing.tCK)
+        last_cmd_time = rec.time
         key = (rec.bank, rec.slot)
         state = slots[key]
         if rec.kind == "ACT":
@@ -96,6 +108,16 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
                 _fail(rec, "tRP", state.pre_time + timing.tRP)
             if rec.time < last_act_rank + timing.tRRD:
                 _fail(rec, "tRRD", last_act_rank + timing.tRRD)
+            if timing.tFAW > 0:
+                # Rank-wide four-activate window: this ACT is illegal
+                # while four earlier ACTs are still inside it.
+                recent = [t for t in act_times_rank
+                          if rec.time - t < timing.tFAW]
+                if len(recent) >= 4:
+                    _fail(rec, "tFAW (fifth ACT in window)",
+                          sorted(recent)[len(recent) - 4] + timing.tFAW)
+                act_times_rank = recent
+                act_times_rank.append(rec.time)
             state.act_time = rec.time
             state.open_row = rec.row
             last_act_rank = max(last_act_rank, rec.time)
@@ -114,8 +136,12 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
                     _fail(rec, "tCCD_L",
                           last_cas_long[long_scope] + timing.tCCD_L)
             if windows_active:
+                # Prune to the live window first: the lists stay at most
+                # two long, so a marathon log cannot degrade to O(n^2),
+                # and a stale entry can never shadow the window edge.
                 recent = [t for t in cas_times_by_group[rec.bank_group]
                           if rec.time - t < timing.tTCW]
+                cas_times_by_group[rec.bank_group] = recent
                 if len(recent) >= 2:
                     _fail(rec, "tTCW (third CAS in window)",
                           min(recent) + timing.tTCW)
@@ -130,6 +156,7 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
                 if windows_active:
                     writes = [t for t in wr_times_by_group[rec.bank_group]
                               if rec.time - t < timing.tTWTRW]
+                    wr_times_by_group[rec.bank_group] = writes
                     if len(writes) >= 2:
                         _fail(rec, "tTWTRW",
                               min(writes) + timing.tTWTRW)
@@ -143,7 +170,10 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
                 gap = TURNAROUND_CLOCKS * timing.tCK
             if start < last_data_end + gap:
                 _fail(rec, "data-bus overlap", last_data_end + gap)
-            last_data_end = end
+            # max(): a shorter-latency command (a read after a write)
+            # must not rewind the occupancy horizon and mask a later
+            # overlap with the still-draining earlier burst.
+            last_data_end = max(last_data_end, end)
             last_data_write = is_write
             last_cas_any = rec.time
             last_cas_long[long_scope] = rec.time
@@ -156,7 +186,7 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
                 wr_times_by_group[rec.bank_group].append(rec.time)
             else:
                 state.last_rd = rec.time
-        elif rec.kind == "PRE":
+        elif rec.kind in ("PRE", "PRE_PARTIAL"):
             if state.open_row < 0:
                 _fail(rec, "PRE of a closed slot", -1)
             if rec.time < state.act_time + timing.tRAS:
@@ -165,6 +195,19 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
                 _fail(rec, "tRTP", state.last_rd + timing.tRTP)
             if rec.time < state.last_wr_end + timing.tWR:
                 _fail(rec, "tWR", state.last_wr_end + timing.tWR)
+            if rec.kind == "PRE_PARTIAL":
+                # Section VI-A: a partial precharge keeps the MWL raised
+                # for an EWLR partner row, which can only live in the
+                # other sub-bank of the same bank.  The log carries no
+                # plane/MWL tags, but the necessary structural condition
+                # is checkable: that sub-bank must have an open row now.
+                other_sb = 1 - rec.slot[0]
+                if not any(
+                        s.open_row >= 0
+                        for (bank, slot), s in slots.items()
+                        if bank == rec.bank and slot[0] == other_sb):
+                    _fail(rec, "PRE_PARTIAL without an open row in the "
+                          "other sub-bank", -1)
             state.pre_time = rec.time
             state.open_row = -1
         else:

@@ -42,8 +42,10 @@ Gap attribution (:class:`StallBucket`):
     DDB's own guard windows ``tTCW`` / ``tTWTRW`` (Fig. 10c), binding
     only at high channel frequencies (Fig. 14).
 ``trrd``
-    Rank-wide ACT-to-ACT spacing (``tRRD``; a four-activate ``tFAW``
-    window would land here too if modelled).
+    Rank-wide ACT-to-ACT spacing (``tRRD``).
+``tfaw``
+    The rolling four-activate window (``tFAW``): the fifth ACT waited
+    for the oldest of the last four to leave the window.
 ``bus``
     Generic shared-resource pressure: command bus, cross-group
     ``tCCD_S``/``tWTR_S``, data-bus occupancy and turnaround bubbles.
@@ -91,6 +93,7 @@ class StallBucket(enum.Enum):
     CCD_WTR_LONG = "ccd_wtr_long"
     DDB_WINDOW = "ddb_window"
     TRRD = "trrd"
+    TFAW = "tfaw"
     BUS = "bus"
 
 
@@ -101,6 +104,7 @@ _FLOOR_BUCKETS = {
     res.FLOOR_CCD_WTR_LONG: StallBucket.CCD_WTR_LONG,
     res.FLOOR_DDB_WINDOW: StallBucket.DDB_WINDOW,
     res.FLOOR_TRRD: StallBucket.TRRD,
+    res.FLOOR_TFAW: StallBucket.TFAW,
     res.FLOOR_BANK: StallBucket.BANK_BUSY,
 }
 
@@ -109,9 +113,10 @@ _FLOOR_BUCKETS = {
 _FLOOR_PRIORITY = {
     StallBucket.DDB_WINDOW: 0,
     StallBucket.CCD_WTR_LONG: 1,
-    StallBucket.TRRD: 2,
-    StallBucket.BANK_BUSY: 3,
-    StallBucket.BUS: 4,
+    StallBucket.TFAW: 2,
+    StallBucket.TRRD: 3,
+    StallBucket.BANK_BUSY: 4,
+    StallBucket.BUS: 5,
 }
 
 

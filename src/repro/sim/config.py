@@ -75,6 +75,15 @@ class SystemConfig:
     #: Record every issued command for post-hoc timing validation
     #: (:mod:`repro.dram.validation`).
     record_commands: bool = False
+    #: Scheduler selection path: True/False forces the incremental or
+    #: reference implementation; None keeps the module default
+    #: (:data:`repro.controller.scheduler.INCREMENTAL_DEFAULT`).  The
+    #: two are bit-identical; the override exists so differential
+    #: harnesses can run both without mutating the global.
+    incremental: Optional[bool] = None
+    #: Four-activate window override in nanoseconds: None keeps the
+    #: preset's value, 0 disables the window (the pre-tFAW model).
+    tfaw_ns: Optional[float] = None
 
     # -- derived properties ----------------------------------------------
 
@@ -111,6 +120,8 @@ class SystemConfig:
 
     def timing(self) -> TimingParams:
         t = ddr4_timings(self.bus_frequency_hz)
+        if self.tfaw_ns is not None:
+            t = t.replace(tFAW=ns(self.tfaw_ns))
         if self.bus_policy is BusPolicy.DDB:
             t = t.with_ddb_windows()
         return t
@@ -225,3 +236,35 @@ def masa_eruca(groups: int = 8, ddb: bool = True,
     return SystemConfig(f"MASA{groups}+ERUCA{suffix}",
                         Organization.MASA_ERUCA,
                         eru=eru, masa_groups=groups)
+
+
+def all_presets() -> list:
+    """Every preset the experiments evaluate, plus stress variants.
+
+    The shared corpus for the equivalence tests, the accounting property
+    tests, and the differential fuzzer (``tools/fuzz_schedules.py``):
+    each organisation of Figs. 12-16, a high-frequency DDB point where
+    the guard windows bind, and two adaptive-page-policy variants (the
+    policy-close path has its own candidate bookkeeping).
+    """
+    return [
+        ddr4_baseline(),
+        bg32(),
+        ideal32(),
+        vsb(EruConfig.naive(4)),
+        vsb(EruConfig.naive_ddb(4)),
+        vsb(EruConfig.ewlr_only(4)),
+        vsb(EruConfig.rap_only(4)),
+        vsb(EruConfig.full(4)),
+        paired_bank(),
+        paired_bank(EruConfig.full(4, ddb=True)),
+        half_dram(),
+        masa(4),
+        masa(8),
+        masa_eruca(8),
+        vsb(EruConfig.full(4)).at_frequency(2.4e9),
+        replace(ddr4_baseline(), idle_close_ps=400_000,
+                name="DDR4+close@400ns"),
+        replace(vsb(EruConfig.full(4)), idle_close_ps=400_000,
+                name="VSB+close@400ns"),
+    ]

@@ -70,14 +70,20 @@ def gmean(values: Iterable[float]) -> float:
 
 
 def quartiles(samples: Sequence[int]) -> Dict[str, float]:
-    """Mean and quartiles of a latency sample (Fig. 16a box stats)."""
+    """Mean and quartiles of a latency sample (Fig. 16a box stats).
+
+    Quartiles use the nearest-rank definition: the p-quantile of n
+    sorted samples is element ``ceil(p * n)`` (1-indexed), so e.g.
+    ``median([1, 2, 3, 4]) == 2.0`` (the lower middle element, rank 2),
+    never an element above the requested fraction.
+    """
     if not samples:
         raise ValueError("no samples")
     s = sorted(samples)
     n = len(s)
 
     def pick(fraction: float) -> float:
-        return float(s[min(n - 1, int(fraction * n))])
+        return float(s[max(0, math.ceil(fraction * n) - 1)])
 
     return {
         "mean": sum(s) / n,

@@ -36,7 +36,8 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
 #: Bump to invalidate every persisted entry after a modelling change.
-CACHE_VERSION = 1
+#: v2: the tFAW four-activate window changed simulated IPCs.
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -119,10 +120,14 @@ def run_grid(jobs: Sequence[SimJob], workers: int = 1
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context(
         "fork" if "fork" in methods else None)
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs)),
+    pool_size = min(workers, len(jobs))
+    with ProcessPoolExecutor(max_workers=pool_size,
                              mp_context=ctx) as pool:
         # Mild chunking amortises IPC without hurting load balance.
-        chunk = max(1, len(jobs) // (workers * 4))
+        # Sized from the actual pool, not the requested worker count: a
+        # short job list on a wide pool must not collapse to one chunk
+        # per worker short of covering the list.
+        chunk = max(1, len(jobs) // (pool_size * 4))
         return list(pool.map(_run_job, jobs, chunksize=chunk))
 
 

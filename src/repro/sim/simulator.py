@@ -72,7 +72,7 @@ class MemorySystem:
             self.observers.append(observer)
             self.controllers.append(ChannelController(
                 channel, config.queue, config.idle_close_ps,
-                observer=observer))
+                observer=observer, incremental=config.incremental))
         #: Memoised address routing: traces revisit rows constantly, and
         #: a failed enqueue (full queue) re-routes the same address, so
         #: decoded coordinates are cached per physical address.

@@ -107,9 +107,37 @@ class TestValidatorCatchesViolations:
             validate_log(log, self.T, BusPolicy.BANK_GROUPS)
 
     def test_detects_trrd_violation(self):
-        log = [self.act(0, bank=0), self.act(1, bank=1)]
+        # One tCK apart (so the command-bus rule passes) but well
+        # inside tRRD.
+        log = [self.act(0, bank=0), self.act(self.T.tCK, bank=1)]
         with pytest.raises(TimingViolation, match="tRRD"):
             validate_log(log, self.T, BusPolicy.BANK_GROUPS)
+
+    def test_detects_command_bus_overlap(self):
+        log = [self.act(0, bank=0), self.act(self.T.tCK - 1, bank=1)]
+        with pytest.raises(TimingViolation, match="command bus"):
+            validate_log(log, self.T, BusPolicy.BANK_GROUPS)
+
+    def test_detects_tfaw_violation(self):
+        # Four ACTs at the tRRD cadence, then a fifth still inside the
+        # 25 ns window: the per-pair spacing is legal but the rolling
+        # four-activate budget is not.
+        t = self.T
+        log = [self.act(i * t.tRRD, bank=i) for i in range(5)]
+        assert 4 * t.tRRD < t.tFAW  # the burst really is inside
+        with pytest.raises(TimingViolation, match="tFAW"):
+            validate_log(log, t, BusPolicy.BANK_GROUPS)
+
+    def test_tfaw_allows_fifth_act_at_window_edge(self):
+        t = self.T
+        log = [self.act(i * t.tRRD, bank=i) for i in range(4)]
+        log.append(self.act(t.tFAW, bank=4))  # exactly one window later
+        assert validate_log(log, t, BusPolicy.BANK_GROUPS) == 5
+
+    def test_tfaw_zero_disables_the_window(self):
+        t = self.T.replace(tFAW=0)
+        log = [self.act(i * t.tRRD, bank=i) for i in range(5)]
+        assert validate_log(log, t, BusPolicy.BANK_GROUPS) == 5
 
     def test_detects_tccd_l_violation(self):
         t = self.T
@@ -156,3 +184,44 @@ class TestValidatorCatchesViolations:
         with pytest.raises(ValueError):
             validate_log([CommandRecord("NOP", 0, 0, 0, (0, 0))],
                          self.T, BusPolicy.BANK_GROUPS)
+
+    def test_detects_data_bus_overlap_from_shorter_latency_write(self):
+        # A write's data burst starts tCWL after the command -- sooner
+        # than a preceding read's tCL -- so a WR placed at the minimum
+        # command spacing lands its burst inside the read's burst.  The
+        # occupancy horizon must be tracked as a running max so this is
+        # caught (regression for the `last_data_end = end` rewind).
+        t = self.T
+        log = [self.act(0, bank=0, bg=0),
+               self.act(t.tRRD, bank=4, bg=1),
+               CommandRecord("RD", t.tRCD, 0, 0, (0, 0)),
+               CommandRecord("WR", t.tRCD + t.tCCD_S, 4, 1, (0, 0))]
+        # The write's burst would start inside the read's.
+        assert (t.tRCD + t.tCCD_S + t.tCWL) < (t.tRCD + t.tCL
+                                               + t.burst_time)
+        with pytest.raises(TimingViolation, match="data-bus overlap"):
+            validate_log(log, t, BusPolicy.BANK_GROUPS)
+
+    def test_pre_partial_timing_rules_apply(self):
+        log = [self.act(0),
+               CommandRecord("PRE_PARTIAL", self.T.tRAS - 1, 0, 0,
+                             (0, 0))]
+        with pytest.raises(TimingViolation, match="tRAS"):
+            validate_log(log, self.T, BusPolicy.BANK_GROUPS)
+
+    def test_pre_partial_needs_open_partner_subbank(self):
+        # Section VI-A: a partial precharge preserves a raised MWL for
+        # the other sub-bank, so with that sub-bank fully closed the
+        # record is structurally impossible.
+        t = self.T
+        log = [self.act(0, slot=(0, 0)),
+               CommandRecord("PRE_PARTIAL", t.tRAS, 0, 0, (0, 0))]
+        with pytest.raises(TimingViolation, match="other sub-bank"):
+            validate_log(log, t, BusPolicy.BANK_GROUPS)
+
+    def test_pre_partial_accepted_with_open_partner(self):
+        t = self.T
+        log = [self.act(0, slot=(0, 0), row=1),
+               self.act(t.tRRD, slot=(1, 0), row=2),
+               CommandRecord("PRE_PARTIAL", t.tRAS, 0, 0, (0, 0))]
+        assert validate_log(log, t, BusPolicy.BANK_GROUPS) == 3

@@ -14,35 +14,15 @@ from dataclasses import replace
 import pytest
 
 import repro.controller.scheduler as scheduler_mod
-from repro.core.mechanisms import EruConfig
 from repro.cpu.core import CoreConfig, TraceCore
 from repro.sim import config as cfgs
 from repro.sim.simulator import MemorySystem, Simulator
 from repro.workloads.mixes import mix_traces
 
-#: Every preset the experiments evaluate, plus an adaptive-page-policy
-#: variant (the policy-close path has its own candidate bookkeeping).
-PRESETS = [
-    cfgs.ddr4_baseline(),
-    cfgs.bg32(),
-    cfgs.ideal32(),
-    cfgs.vsb(EruConfig.naive(4)),
-    cfgs.vsb(EruConfig.naive_ddb(4)),
-    cfgs.vsb(EruConfig.ewlr_only(4)),
-    cfgs.vsb(EruConfig.rap_only(4)),
-    cfgs.vsb(EruConfig.full(4)),
-    cfgs.paired_bank(),
-    cfgs.paired_bank(EruConfig.full(4, ddb=True)),
-    cfgs.half_dram(),
-    cfgs.masa(4),
-    cfgs.masa(8),
-    cfgs.masa_eruca(8),
-    cfgs.vsb(EruConfig.full(4)).at_frequency(2.4e9),
-    replace(cfgs.ddr4_baseline(), idle_close_ps=400_000,
-            name="DDR4+close@400ns"),
-    replace(cfgs.vsb(EruConfig.full(4)), idle_close_ps=400_000,
-            name="VSB+close@400ns"),
-]
+#: The shared preset corpus (every experiment organisation plus stress
+#: variants); lives in :mod:`repro.sim.config` so the differential
+#: fuzzer (``tools/fuzz_schedules.py``) draws from the same list.
+PRESETS = cfgs.all_presets()
 
 
 def command_stream_hash(system: MemorySystem) -> str:
@@ -58,17 +38,18 @@ def command_stream_hash(system: MemorySystem) -> str:
 
 
 def run_with_mode(config, traces, incremental: bool):
-    """One full simulation under the given scheduler path."""
-    old = scheduler_mod.INCREMENTAL_DEFAULT
-    scheduler_mod.INCREMENTAL_DEFAULT = incremental
-    try:
-        system = MemorySystem(replace(config, record_commands=True))
-        cores = [TraceCore(t, CoreConfig(), core_id=i)
-                 for i, t in enumerate(traces)]
-        result = Simulator(system, cores).run()
-        return result, command_stream_hash(system)
-    finally:
-        scheduler_mod.INCREMENTAL_DEFAULT = old
+    """One full simulation under the given scheduler path.
+
+    Uses the config-level override (``SystemConfig.incremental``), the
+    same plumbing the differential fuzzer relies on, instead of
+    flipping the module default.
+    """
+    system = MemorySystem(replace(config, record_commands=True,
+                                  incremental=incremental))
+    cores = [TraceCore(t, CoreConfig(), core_id=i)
+             for i, t in enumerate(traces)]
+    result = Simulator(system, cores).run()
+    return result, command_stream_hash(system)
 
 
 @pytest.mark.parametrize("config", PRESETS,

@@ -67,15 +67,37 @@ class TestGmean:
 
 class TestQuartiles:
     def test_basic(self):
+        # Nearest-rank on n=100: rank ceil(0.25*100)=25 -> value 25, etc.
         q = quartiles(list(range(1, 101)))
         assert q["mean"] == pytest.approx(50.5)
-        assert q["q1"] == pytest.approx(26)
-        assert q["median"] == pytest.approx(51)
-        assert q["q3"] == pytest.approx(76)
+        assert q["q1"] == pytest.approx(25)
+        assert q["median"] == pytest.approx(50)
+        assert q["q3"] == pytest.approx(75)
 
     def test_single_sample(self):
         q = quartiles([42])
-        assert q["mean"] == q["median"] == 42
+        assert q["q1"] == q["median"] == q["q3"] == 42
+        assert q["mean"] == 42
+
+    def test_two_samples(self):
+        # Nearest-rank: the median of an even-length sample is the
+        # lower middle element, never the upper one.
+        q = quartiles([1, 2])
+        assert q["q1"] == 1
+        assert q["median"] == 1
+        assert q["q3"] == 2
+
+    def test_four_samples(self):
+        q = quartiles([1, 2, 3, 4])
+        assert q["q1"] == 1
+        assert q["median"] == 2
+        assert q["q3"] == 3
+
+    def test_five_samples(self):
+        q = quartiles([1, 2, 3, 4, 5])
+        assert q["q1"] == 2
+        assert q["median"] == 3
+        assert q["q3"] == 4
 
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
