@@ -11,6 +11,7 @@
     python -m repro run --config vsb --mix mix0
     python -m repro stats --config vsb --mix mix0 --per-bank
     python -m repro trace --config vsb --mix mix0 --limit 50
+    python -m repro profile --config vsb --mix mix0 --sort tottime
 
 Each figure sub-command prints the same rows as the corresponding
 benchmark in ``benchmarks/`` (the benches add assertions and timing on
@@ -105,7 +106,8 @@ def cmd_list(args) -> None:
         print(f"  {name:14s} -> {CONFIG_FACTORIES[name]().name}")
     print("mixes:", ", ".join(MIX_NAMES))
     print("experiments: fig4 fig11 fig12 fig13 fig14 fig15 fig16")
-    print("observability: stats trace (and --emit-stats on figures)")
+    print("observability: stats trace profile "
+          "(and --emit-stats on figures)")
 
 
 def cmd_run(args) -> None:
@@ -167,6 +169,23 @@ def cmd_trace(args) -> None:
     if not args.output and sink.dropped:
         print(f"# {sink.dropped} events dropped past --limit",
               file=sys.stderr)
+
+
+def cmd_profile(args) -> None:
+    """``repro profile``: cProfile one (config, mix) cell."""
+    from repro.sim.profiling import profile_run
+    factory = CONFIG_FACTORIES.get(args.config)
+    if factory is None:
+        raise SystemExit(f"unknown config {args.config!r}; see 'list'")
+    incremental = {"incremental": True, "reference": False,
+                   "config": None}[args.path]
+    report = profile_run(factory(), args.mix, accesses=args.accesses,
+                         fragmentation=args.fragmentation,
+                         seed=args.seed, incremental=incremental)
+    print(report.format_table(limit=args.limit, sort=args.sort), end="")
+    if args.output:
+        report.dump(args.output)
+        print(f"wrote {args.output}")
 
 
 def cmd_fig4(args) -> None:
@@ -310,6 +329,26 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--output", metavar="FILE",
                        help="write to FILE instead of stdout")
     trace.set_defaults(func=cmd_trace)
+
+    profile = cell(common(sub.add_parser(
+        "profile", help="cProfile one config on one mix",
+        description="Run one (config, mix) cell under cProfile and "
+                    "print scheduler-effort counters (peeks/command, "
+                    "candidates examined/peek), the behaviour digest, "
+                    "and the hottest functions.  --output dumps the "
+                    "binary pstats file for snakeviz/gprof2dot.")))
+    profile.add_argument("--path",
+                         choices=("config", "incremental", "reference"),
+                         default="config",
+                         help="scheduler selection path to profile "
+                              "(default: whatever the config says)")
+    profile.add_argument("--sort", default="cumulative",
+                         help="pstats sort key (default cumulative)")
+    profile.add_argument("--limit", type=int, default=25,
+                         help="pstats rows to print (default 25)")
+    profile.add_argument("--output", metavar="FILE",
+                         help="dump binary pstats to FILE")
+    profile.set_defaults(func=cmd_profile)
 
     for name, func, needs_mixes in (
             ("fig4", cmd_fig4, False), ("fig11", cmd_fig11, False),

@@ -17,6 +17,7 @@ from repro.controller.scheduler import Candidate, Scheduler
 from repro.controller.transaction import Transaction
 from repro.dram.commands import CommandKind
 from repro.dram.device import Channel
+from repro.sim.metrics import LatencyHistogram
 
 
 @dataclass
@@ -29,12 +30,21 @@ class ControllerStats:
     columns: int = 0
     precharges: int = 0
     #: Read queueing latencies (arrival -> data end), ps. Fig. 16a.
-    read_latencies: List[int] = field(default_factory=list)
-    #: Perf counters: scheduler peeks and candidate proposals built.
+    #: Counter-backed: memory stays O(unique latencies) however long
+    #: the run; iteration yields the exact sorted expansion.
+    read_latencies: LatencyHistogram = field(
+        default_factory=LatencyHistogram)
+    #: Perf counters, copied from the scheduler once at result
+    #: collection (:meth:`ChannelController.collect_perf_counters`):
+    #: peeks (selections), candidates_built (proposals constructed),
+    #: candidates_examined (proposals the selection loop compared).
     #: peeks/candidates_built stay flat while commands_issued grows when
-    #: the incremental candidate cache is doing its job.
+    #: the incremental candidate cache is doing its job;
+    #: candidates_examined/peeks is what the floor-indexed selection
+    #: tables shrink.
     peeks: int = 0
     candidates_built: int = 0
+    candidates_examined: int = 0
 
     def merge(self, other: "ControllerStats") -> None:
         self.commands_issued += other.commands_issued
@@ -42,9 +52,10 @@ class ControllerStats:
         self.ewlr_hits += other.ewlr_hits
         self.columns += other.columns
         self.precharges += other.precharges
-        self.read_latencies.extend(other.read_latencies)
+        self.read_latencies.merge(other.read_latencies)
         self.peeks += other.peeks
         self.candidates_built += other.candidates_built
+        self.candidates_examined += other.candidates_examined
 
 
 class ChannelController:
@@ -87,10 +98,19 @@ class ChannelController:
 
     def peek(self, now: int) -> Optional[Candidate]:
         """The command this channel would issue next, or None if idle."""
-        cand = self.scheduler.best(now)
-        self.stats.peeks = self.scheduler.peeks
-        self.stats.candidates_built = self.scheduler.candidates_built
-        return cand
+        return self.scheduler.best(now)
+
+    def collect_perf_counters(self) -> None:
+        """Copy the scheduler's perf counters into :attr:`stats`.
+
+        Called once when results are collected (they used to be
+        mirrored on every peek, two attribute stores per scheduling
+        decision for counters nothing reads mid-run).
+        """
+        scheduler = self.scheduler
+        self.stats.peeks = scheduler.peeks
+        self.stats.candidates_built = scheduler.candidates_built
+        self.stats.candidates_examined = scheduler.candidates_examined
 
     def commit(self, candidate: Candidate) -> List[Transaction]:
         """Issue the candidate; returns transactions completed by it."""
@@ -130,7 +150,7 @@ class ChannelController:
         self.scheduler.note_remove(txn)
         self.stats.columns += 1
         if txn.is_read:
-            self.stats.read_latencies.append(txn.queueing_latency)
+            self.stats.read_latencies.add(txn.queueing_latency)
         if obs is not None:
             obs.on_command(candidate, floors, ewlr_hit=False,
                            partial=False,

@@ -60,6 +60,16 @@ class RowLayout:
             raise ValueError("plane_count must be a power of two >= 1")
         if self.plane_bits + self.ewlr_bits > self.row_bits:
             raise ValueError("plane + EWLR fields exceed the row address")
+        # Field extraction constants, cached once: plane_id / mwl_tag
+        # run on every activation classification and every enqueue, and
+        # re-deriving shifts and masks through property/helper calls
+        # dominated their cost.
+        object.__setattr__(self, "_pshift", self._plane_shift())
+        object.__setattr__(self, "_pmask", self.plane_count - 1)
+        object.__setattr__(self, "_eshift", self._ewlr_shift())
+        object.__setattr__(
+            self, "_mwl_mask",
+            ~(((1 << self.ewlr_bits) - 1) << self._ewlr_shift()))
 
     @property
     def plane_bits(self) -> int:
@@ -87,9 +97,9 @@ class RowLayout:
         that identical row addresses on the two sub-banks use different
         latch sets.
         """
-        plane = _bits(row, self._plane_shift(), self.plane_bits)
-        if rap and subbank == 1 and self.plane_bits:
-            plane ^= self.plane_count - 1
+        plane = (row >> self._pshift) & self._pmask
+        if rap and subbank == 1:
+            plane ^= self._pmask
         return plane
 
     def mwl_tag(self, row: int) -> int:
@@ -99,10 +109,7 @@ class RowLayout:
         LWL_SEL bits, so both sub-banks can hold them concurrently when
         EWLR latches are present -- an *EWLR hit*.
         """
-        if not self.ewlr_bits:
-            return row
-        mask = ((1 << self.ewlr_bits) - 1) << self._ewlr_shift()
-        return row & ~mask
+        return row & self._mwl_mask
 
     def ewlr_offset(self, row: int) -> int:
         """The LWL_SEL field value of ``row``."""

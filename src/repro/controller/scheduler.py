@@ -31,6 +31,21 @@ reads state of the transaction's own bank.  Ties are broken by a
 deterministic per-transaction sequence number (queue order), so both
 paths agree bit-for-bit regardless of enumeration order.
 
+Selection over the cached candidates is *floor-indexed*: within one
+bank, every candidate of one priority class shares the same
+channel-resource floor (all column candidates share the bank's
+``col_args`` because the drain mode fixes the direction and the bank
+fixes group/index; all ACTs share the channel ACT floor; precharges and
+policy closes share the PRE floor).  Clamping a whole class to one floor
+``F`` collapses every bank-local time ``t <= F`` onto ``F``, so the
+class winner is either the minimal ``(arrival, seq)`` among those -- a
+prefix-minimum over the ``t``-sorted candidates -- or, when every ``t``
+exceeds ``F``, the first candidate in ``(t, arrival, seq)`` order.  Each
+bank-class therefore keeps a :class:`SelectionTable` (a ``t``-sorted
+array with prefix-min ``(arrival, seq)``) and answers a peek with one
+binary search, making selection O(banks x classes x log candidates)
+instead of O(total candidates).
+
 Observability (:mod:`repro.sim.accounting`) is orthogonal to both
 paths: the controller reads the winning candidate's floor decomposition
 (``Channel.explain_*``) *after* selection and *before* commit, so the
@@ -42,6 +57,7 @@ observer is attached -- the digest-equality tests in
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -68,9 +84,18 @@ INCREMENTAL_DEFAULT = True
 
 
 def _policy_seq(bank_index: int, slot: SlotKey) -> int:
-    """Deterministic tie-break rank for a policy close of (bank, slot)."""
+    """Deterministic tie-break rank for a policy close of (bank, slot).
+
+    Must be injective: two policy closes can tie on every other sort-key
+    component (same time, same priority, ``_NO_ARRIVAL`` arrivals), so a
+    seq collision would let the reference and table-based paths pick
+    different winners depending on enumeration order.  The fields are
+    packed wide enough that even a 2^32-group geometry cannot overlap
+    the sub-bank or bank bits; the packing is ordered (bank, sub-bank,
+    group), the same rank the narrow historical packing produced.
+    """
     subbank, group = slot
-    return (bank_index << 16) | (subbank << 15) | group
+    return (((bank_index << 1) | subbank) << 32) | group
 
 
 @dataclass(slots=True)
@@ -104,6 +129,112 @@ class Candidate:
         return (self.issue_time, self.priority, self.arrival, self.seq)
 
 
+class SelectionTable:
+    """``t``-sorted entries of one (bank, priority class), answering
+    "who wins after clamping to floor ``F``?" with one binary search.
+
+    Entries are plain tuples whose first three fields are
+    ``(t, arrival, seq)`` -- the class-local part of the FR-FCFS sort
+    key -- followed by whatever payload the class needs to materialise
+    the winning :class:`Candidate` (the serving transaction, the
+    precharge victim, ...).  ``seq`` is unique within a table, so a
+    key-less tuple sort never falls through to comparing payloads.
+
+    Every entry in one table shares the same channel-resource floor
+    (identical ``col_args`` within a bank, the channel-wide ACT floor,
+    or the PRE floor), so the per-peek effective issue time of entry
+    ``i`` is ``max(t_i, F)`` with one ``F`` for the whole table.  Every
+    entry with ``t <= F`` collapses onto ``F`` and strictly beats every
+    entry with ``t > F`` on time, hence the winner is
+
+    * the prefix-minimum ``(arrival, seq)`` over the ``t``-sorted prefix
+      ``t <= F`` when that prefix is non-empty, else
+    * the first entry in ``(t, arrival, seq)`` order (the lexicographic
+      minimum of the un-clamped keys).
+
+    Exactness against the brute-force ``min`` over floor-clamped
+    entries is property-tested in
+    ``tests/controller/test_selection_table.py``.
+
+    Single-entry tables (the overwhelmingly common case on these
+    workloads) skip the sort and prefix arrays entirely; the head entry
+    ``(t0, a0, s0, e0)`` -- the minimum of the un-clamped keys -- is
+    denormalised into slots so the selection loop can answer the
+    floor-above-everything case with two attribute loads and a compare.
+    """
+
+    __slots__ = ("times", "entries", "pmin", "single",
+                 "t0", "a0", "s0", "e0")
+
+    def __init__(self, entries: List[tuple]) -> None:
+        if len(entries) > 1:
+            entries.sort()
+            self.single = False
+            self.times = [e[0] for e in entries]
+            #: ``pmin[i]`` = (arrival, seq, index) of the minimal
+            #: ``(arrival, seq)`` among ``entries[: i + 1]``.
+            pmin: List[Tuple[int, int, int]] = []
+            best_a = best_s = best_i = -1
+            first = True
+            for i, e in enumerate(entries):
+                if first or e[1] < best_a or (e[1] == best_a
+                                              and e[2] < best_s):
+                    best_a, best_s, best_i = e[1], e[2], i
+                    first = False
+                pmin.append((best_a, best_s, best_i))
+            self.pmin = pmin
+        else:
+            self.single = True
+            self.times = None
+            self.pmin = None
+        self.entries = entries
+        head = entries[0]
+        self.t0 = head[0]
+        self.a0 = head[1]
+        self.s0 = head[2]
+        self.e0 = head
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def select(self, floor: int) -> Tuple[int, int, int, tuple]:
+        """Winner after clamping every entry to ``floor``.
+
+        Returns ``(time, arrival, seq, entry)`` where ``time`` is the
+        winner's effective issue time (already >= ``floor`` clamping).
+        """
+        t0 = self.t0
+        if t0 > floor:
+            # The floor clamps nothing: the head is the lexicographic
+            # minimum of the un-clamped keys.
+            return t0, self.a0, self.s0, self.e0
+        if self.single:
+            return floor, self.a0, self.s0, self.e0
+        # t0 <= floor, so the clamped prefix is non-empty (pos >= 1).
+        pos = bisect_right(self.times, floor)
+        arrival, seq, i = self.pmin[pos - 1]
+        return floor, arrival, seq, self.entries[i]
+
+
+#: One bank's cached column table ``(table, col_args)``.  ``col_args``
+#: is shared by every column candidate of the bank (the drain mode
+#: fixes the direction, the bank fixes group and index), so one
+#: :meth:`~repro.dram.resources.ChannelResources.earliest_column` call
+#: floors the whole table.  A plain tuple, not a dataclass: one is
+#: built per bank rebuild, ~1.6x per command.
+ColTable = Tuple[SelectionTable, Tuple[bool, int, int]]
+
+#: One bank's cached non-column tables ``(act, pre, policy)``.  ACTs
+#: share the channel-wide ACT floor; precharges and policy closes share
+#: the PRE floor (but stay in separate tables because their priorities
+#: differ).  Kept apart from the column tables so the selection loop's
+#: second pass only visits banks that actually have row work pending --
+#: on row-hit-friendly workloads that is a near-empty dict.
+AuxTables = Tuple[Optional[SelectionTable],
+                  Optional[SelectionTable],
+                  Optional[SelectionTable]]
+
+
 class Scheduler:
     """Candidate generation and FR-FCFS selection for one channel.
 
@@ -128,22 +259,49 @@ class Scheduler:
         self.idle_close_ps = idle_close_ps
         self.incremental = INCREMENTAL_DEFAULT if incremental is None \
             else incremental
-        #: Perf counters (mirrored into ControllerStats by the controller).
+        #: Perf counters (copied into ControllerStats once, at result
+        #: collection -- :meth:`ChannelController.collect_perf_counters`).
         self.peeks = 0
         self.candidates_built = 0
+        #: Candidates the selection loop actually compared.  The
+        #: reference path examines every rebuilt candidate per peek; the
+        #: table path examines one pre-reduced winner per (bank, class).
+        self.candidates_examined = 0
         # -- incremental state ------------------------------------------
         self._seq = 0
+        #: Whether queue membership changed since the last peek.  The
+        #: drain source is a pure function of queue contents (the
+        #: watermark state machine only advances when a length
+        #: changes), so peeks in between skip the drain-mode
+        #: re-evaluation entirely.
+        self._queues_changed = True
         #: Which queue the current membership was built from ('R'/'W'),
         #: or None before the first peek.
         self._source: Optional[str] = None
         #: Schedulable transactions per bank, in queue order.
         self._bank_txns: Dict[int, List[Transaction]] = {}
-        #: Cached candidates per bank with *bank-local* issue times (the
-        #: channel-resource floor and the ``now`` clamp are re-applied at
-        #: selection).  Banks with no candidates are absent.
-        self._bank_cands: Dict[int, List[Candidate]] = {}
+        #: Cached selection tables per bank, holding candidates with
+        #: *bank-local* issue times (the channel-resource floor and the
+        #: ``now`` clamp are re-applied at selection).  Banks with no
+        #: candidates of the kind are absent from the respective dict.
+        self._col_tables: Dict[int, ColTable] = {}
+        self._aux_tables: Dict[int, AuxTables] = {}
         #: Banks whose cached candidates must be rebuilt.
         self._dirty: Set[int] = set()
+        #: Channel-resource floor lookups, bound once (the resources
+        #: object lives as long as the channel).  Saves the
+        #: ``self.channel.resources.*`` attribute chain on every peek.
+        resources = channel.resources
+        self._res_earliest_column = resources.earliest_column
+        self._res_earliest_act = resources.earliest_act
+        self._res_earliest_precharge = resources.earliest_precharge
+        #: Reusable return vehicle for :meth:`_best_incremental`: one
+        #: peek's winner is always consumed (committed or discarded)
+        #: before the next peek of the same scheduler overwrites it,
+        #: and nothing downstream stores the object itself -- the
+        #: simulator's peek cache holds at most the latest one per
+        #: channel, and the accounting observer copies scalar fields.
+        self._scratch = Candidate(0, 0, None, CommandKind.PRE)
 
     # -- transaction preparation (memoised) ------------------------------
 
@@ -168,6 +326,7 @@ class Scheduler:
         if txn.seq < 0:
             txn.seq = self._seq
             self._seq += 1
+        self._queues_changed = True
         # Only fold it into the membership if it joins the queue the
         # current candidate set was built from; otherwise the source
         # check in best() picks it up on the next drain-mode flip.
@@ -177,6 +336,7 @@ class Scheduler:
 
     def note_remove(self, txn: Transaction) -> None:
         """A column command retired ``txn``; drop it from its bank."""
+        self._queues_changed = True
         txns = self._bank_txns.get(txn.bank_index)
         if txns is not None:
             try:
@@ -294,7 +454,7 @@ class Scheduler:
 
     def _rebuild_all(self, txns: List[Transaction]) -> None:
         """Drain-mode flip (or first peek): regroup the whole source."""
-        stale = set(self._bank_cands)
+        stale = set(self._col_tables) | set(self._aux_tables)
         self._bank_txns = {}
         for txn in txns:
             if txn.bank_index < 0:
@@ -308,34 +468,96 @@ class Scheduler:
             self._dirty.update(loc[0] for loc in self.channel.open_slots)
 
     def _rebuild_bank(self, bank_index: int) -> None:
-        """Recompute the bank-local candidates of one bank.
+        """Recompute the bank-local selection tables of one bank.
 
         Issue times stored here exclude the channel-resource floor and
         the ``now`` clamp -- both are re-applied at selection, so a
         cached candidate never goes stale from *other* banks' traffic.
         """
         bank = self.channel.banks[bank_index]
+        slots = bank.slots
         txns = self._bank_txns.get(bank_index, ())
-        hits: Dict[Tuple[int, SlotKey], int] = {}
+        if self.idle_close_ps is None and len(txns) <= 1:
+            # Most rebuilds see zero or one transaction (the committed
+            # command retired the only pending one, or a lone arrival
+            # dirtied an idle bank).  With no page policy and a single
+            # transaction, the anti-thrashing hit map is provably empty
+            # for every conflict verdict -- a hit on the own slot would
+            # have classified as ROW_HIT -- so the general path's list,
+            # set and dict machinery below is pure overhead here.
+            if not txns:
+                self._col_tables.pop(bank_index, None)
+                self._aux_tables.pop(bank_index, None)
+                return
+            txn = txns[0]
+            c = txn.coords
+            # The head of Bank.classify, inlined: a hit or an own-slot
+            # conflict resolves on one slot load, and a flat bank can
+            # never plane-conflict.  Only the sub-banked
+            # empty-own-slot case needs the full plane/EWLR scan.
+            active = slots[txn.slot].active_row
+            self.candidates_built += 1
+            if active == c.row:  # ROW_HIT
+                table = SelectionTable(
+                    [(bank.earliest_column(c.subbank, c.row),
+                      txn.arrival_time, txn.seq, txn)])
+                self._col_tables[bank_index] = (
+                    table, (not txn.is_read, c.bank_group, bank_index))
+                self._aux_tables.pop(bank_index, None)
+                return
+            self._col_tables.pop(bank_index, None)
+            if active is not None:  # OWN_ROW_CONFLICT
+                verdict, victim_slot = None, txn.slot
+                cause = PrechargeCause.ROW_CONFLICT
+            elif (bank.geometry.subbanks == 1
+                  or bank.row_layout is None):  # ACT_OK
+                verdict, victim_slot = ActivationVerdict.ACT_OK, None
+            else:
+                verdict, victim_slot = bank.classify(
+                    c.subbank, c.row, txn.plane, txn.mwl, txn.slot)
+                cause = (PrechargeCause.PLANE_CONFLICT
+                         if verdict is ActivationVerdict.PLANE_CONFLICT
+                         else PrechargeCause.ROW_CONFLICT)
+            if verdict in (ActivationVerdict.ACT_OK,
+                           ActivationVerdict.EWLR_HIT):
+                table = SelectionTable(
+                    [(bank.earliest_act(c.subbank, c.row),
+                      txn.arrival_time, txn.seq, txn)])
+                self._aux_tables[bank_index] = (table, None, None)
+            else:
+                table = SelectionTable(
+                    [(bank.earliest_precharge(victim_slot),
+                      txn.arrival_time, txn.seq, txn,
+                      (bank_index, victim_slot), cause)])
+                self._aux_tables[bank_index] = (None, table, None)
+            return
+        #: Oldest arrival per (bank, slot) whose open row still has
+        #: hits; ``None`` until the first hit (most rebuilds see a
+        #: single transaction, so the dict is usually never needed).
+        hits: Optional[Dict[Tuple[int, SlotKey], int]] = None
         for txn in txns:
-            if bank.slots[txn.slot].active_row == txn.coords.row:
+            if slots[txn.slot].active_row == txn.coords.row:
                 loc = (bank_index, txn.slot)
-                if loc not in hits or txn.arrival_time < hits[loc]:
+                if hits is None:
+                    hits = {loc: txn.arrival_time}
+                elif loc not in hits or txn.arrival_time < hits[loc]:
                     hits[loc] = txn.arrival_time
-        out: List[Candidate] = []
+        policies: List[tuple] = []
         if self.idle_close_ps is not None:
-            for key, slot in bank.slots.items():
+            for key, slot in slots.items():
                 if slot.active_row is None:
                     continue
                 loc = (bank_index, key)
-                if loc in hits:
+                if hits is not None and loc in hits:
                     continue  # a pending request still wants this row
                 t = max(slot.last_use + self.idle_close_ps,
                         bank.earliest_precharge(key))
-                out.append(Candidate(t, PRIO_POLICY, None, CommandKind.PRE,
-                                     victim=loc,
-                                     cause=PrechargeCause.POLICY,
-                                     seq=_policy_seq(bank_index, key)))
+                policies.append((t, _NO_ARRIVAL,
+                                 _policy_seq(bank_index, key), loc))
+        cols: List[tuple] = []
+        acts: List[tuple] = []
+        pres: List[tuple] = []
+        col_args: Optional[Tuple[bool, int, int]] = None
         seen_acts: set = set()
         seen_pres: set = set()
         seen_cols: set = set()
@@ -351,26 +573,22 @@ class Scheduler:
                 if txn.slot in seen_cols:
                     continue
                 seen_cols.add(txn.slot)
-                t = bank.earliest_column(c.subbank, c.row)
-                out.append(Candidate(t, PRIO_COLUMN, txn,
-                                     CommandKind.WR if not txn.is_read
-                                     else CommandKind.RD, seq=txn.seq,
-                                     arrival=txn.arrival_time,
-                                     col_args=(not txn.is_read,
-                                               c.bank_group,
-                                               bank_index)))
+                # The drain mode fixes the direction and the bank fixes
+                # (group, index), so col_args is one value per table.
+                col_args = (not txn.is_read, c.bank_group, bank_index)
+                cols.append((bank.earliest_column(c.subbank, c.row),
+                             txn.arrival_time, txn.seq, txn))
             elif verdict in (ActivationVerdict.ACT_OK,
                              ActivationVerdict.EWLR_HIT):
                 if txn.slot in seen_acts:
                     continue  # one ACT proposal per target slot
                 seen_acts.add(txn.slot)
-                out.append(Candidate(bank.earliest_act(c.subbank, c.row),
-                                     PRIO_ACT, txn, CommandKind.ACT,
-                                     seq=txn.seq,
-                                     arrival=txn.arrival_time))
+                acts.append((bank.earliest_act(c.subbank, c.row),
+                             txn.arrival_time, txn.seq, txn))
             else:
                 loc = (bank_index, victim_slot)
-                if loc in hits and hits[loc] <= txn.arrival_time:
+                if (hits is not None and loc in hits
+                        and hits[loc] <= txn.arrival_time):
                     continue
                 if victim_slot in seen_pres:
                     continue
@@ -378,72 +596,161 @@ class Scheduler:
                 cause = (PrechargeCause.PLANE_CONFLICT
                          if verdict is ActivationVerdict.PLANE_CONFLICT
                          else PrechargeCause.ROW_CONFLICT)
-                out.append(Candidate(bank.earliest_precharge(victim_slot),
-                                     PRIO_PRE, txn, CommandKind.PRE,
-                                     victim=loc, cause=cause, seq=txn.seq,
-                                     arrival=txn.arrival_time))
-        self.candidates_built += len(out)
-        if out:
-            self._bank_cands[bank_index] = out
+                pres.append((bank.earliest_precharge(victim_slot),
+                             txn.arrival_time, txn.seq, txn, loc, cause))
+        self.candidates_built += (len(cols) + len(acts) + len(pres)
+                                  + len(policies))
+        if cols:
+            self._col_tables[bank_index] = (SelectionTable(cols),
+                                            col_args)
         else:
-            self._bank_cands.pop(bank_index, None)
+            self._col_tables.pop(bank_index, None)
+        if acts or pres or policies:
+            self._aux_tables[bank_index] = (
+                SelectionTable(acts) if acts else None,
+                SelectionTable(pres) if pres else None,
+                SelectionTable(policies) if policies else None)
+        else:
+            self._aux_tables.pop(bank_index, None)
 
     def _best_incremental(self, now: int) -> Optional[Candidate]:
-        txns = self.queues.schedulable()
-        source = 'W' if txns is self.queues.writes else 'R'
-        if source != self._source:
-            self._source = source
-            self._rebuild_all(txns)
+        if self._queues_changed:
+            # Queue membership moved since the last peek: re-evaluate
+            # the drain source (idempotent between length changes) and
+            # regroup everything if it flipped.  Peeks triggered by
+            # ACT/PRE commits leave the queues untouched and skip this.
+            self._queues_changed = False
+            txns = self.queues.schedulable()
+            source = 'W' if txns is self.queues.writes else 'R'
+            if source != self._source:
+                self._source = source
+                self._rebuild_all(txns)
         if self._dirty:
+            rebuild = self._rebuild_bank
             for bank_index in self._dirty:
-                self._rebuild_bank(bank_index)
+                rebuild(bank_index)
             self._dirty.clear()
-        if not self._bank_cands:
+        col_tables = self._col_tables
+        aux_tables = self._aux_tables
+        if not col_tables and not aux_tables:
             return None
-        resources = self.channel.resources
-        earliest_column = resources.earliest_column
-        res_act = res_pre = None  # computed lazily, shared by all banks
-        #: Column floors repeat per (direction, group, bank) within one
-        #: peek -- memoise them for the duration of this selection.
-        col_memo: Dict[Tuple[bool, int, int], int] = {}
-        best: Optional[Candidate] = None
-        best_time = 0
-        best_rest: Optional[Tuple[int, int, int]] = None
-        for cands in self._bank_cands.values():
-            for cand in cands:
-                prio = cand.priority
-                if prio == PRIO_COLUMN:
-                    args = cand.col_args
-                    t = col_memo.get(args)
-                    if t is None:
-                        t = earliest_column(*args)
-                        col_memo[args] = t
-                elif prio == PRIO_ACT:
+        earliest_column = self._res_earliest_column
+        select = SelectionTable.select
+        # Class floors, already clamped to ``now``.  The ACT and PRE
+        # floors are channel-wide, computed lazily once per peek and
+        # shared by every bank; column floors are per bank (one
+        # earliest_column call floors the bank's whole column table).
+        #
+        # Pruning: a table's effective winner time is >= max(t0, now)
+        # whatever its floor turns out to be (floors only lift times),
+        # so a table whose lower bound already loses to the running best
+        # -- strictly on time, or tied on time with a worse priority --
+        # is skipped without computing its floor.  Columns go first:
+        # they carry the top priority and the smallest times on
+        # row-hit-friendly workloads, so they set a tight bound that
+        # prunes most ACT/PRE tables down to one integer compare.
+        res_act = res_pre = None
+        examined = 0
+        best: Optional[tuple] = None
+        best_col_args: Optional[Tuple[bool, int, int]] = None
+        best_t = best_prio = 1 << 62
+        best_key: Tuple[int, int, int, int] = (best_t, best_prio, 0, 0)
+        for table, col_args in col_tables.values():
+            t0 = table.t0
+            lb = t0 if t0 > now else now
+            if lb > best_t:
+                continue
+            floor = earliest_column(*col_args)
+            if floor < now:
+                floor = now
+            # SelectionTable.select, inlined (the hottest few lines of
+            # the simulator -- one winner per column table per peek).
+            if t0 > floor:
+                t, arrival, seq, entry = t0, table.a0, table.s0, table.e0
+            elif table.single:
+                t, arrival, seq, entry = floor, table.a0, table.s0, \
+                    table.e0
+            else:
+                pos = bisect_right(table.times, floor)
+                arrival, seq, i = table.pmin[pos - 1]
+                t, entry = floor, table.entries[i]
+            examined += 1
+            if t <= best_t:
+                key = (t, PRIO_COLUMN, arrival, seq)
+                if key < best_key:
+                    best, best_key = entry, key
+                    best_t, best_prio = t, PRIO_COLUMN
+                    best_col_args = col_args
+        for act_table, pre_table, policy_table in aux_tables.values():
+            if act_table is not None:
+                lb = act_table.t0
+                if lb < now:
+                    lb = now
+                if lb < best_t or (lb == best_t
+                                   and PRIO_ACT <= best_prio):
                     if res_act is None:
-                        res_act = resources.earliest_act()
-                    t = res_act
-                else:
-                    if res_pre is None:
-                        res_pre = resources.earliest_precharge()
-                    t = res_pre
-                if t < cand.issue_time:
-                    t = cand.issue_time
-                if t < now:
-                    t = now
-                # Compare on time first; the tie-break tuple is only
-                # built for genuine time ties.
-                if best is not None and t > best_time:
+                        res_act = self._res_earliest_act()
+                        if res_act < now:
+                            res_act = now
+                    t, arrival, seq, entry = select(act_table, res_act)
+                    examined += 1
+                    if t <= best_t:
+                        key = (t, PRIO_ACT, arrival, seq)
+                        if key < best_key:
+                            best, best_key = entry, key
+                            best_t, best_prio = t, PRIO_ACT
+            if pre_table is None and policy_table is None:
+                continue
+            for table, prio in ((pre_table, PRIO_PRE),
+                                (policy_table, PRIO_POLICY)):
+                if table is None:
                     continue
-                rest = (prio, cand.arrival, cand.seq)
-                if best is None or t < best_time or rest < best_rest:
-                    best, best_time, best_rest = cand, t, rest
+                lb = table.t0
+                if lb < now:
+                    lb = now
+                if lb > best_t or (lb == best_t and prio > best_prio):
+                    continue
+                if res_pre is None:
+                    res_pre = self._res_earliest_precharge()
+                    if res_pre < now:
+                        res_pre = now
+                t, arrival, seq, entry = select(table, res_pre)
+                examined += 1
+                if t <= best_t:
+                    key = (t, prio, arrival, seq)
+                    if key < best_key:
+                        best, best_key = entry, key
+                        best_t, best_prio = t, prio
+        self.candidates_examined += examined
         if best is None:
             return None
-        # Cached candidates are shared across peeks -- never mutate them.
-        return Candidate(best_time, best.priority, best.txn, best.kind,
-                         victim=best.victim, cause=best.cause,
-                         seq=best.seq, arrival=best.arrival,
-                         col_args=best.col_args)
+        # The winner is materialised into the scratch Candidate (the
+        # cached tuples are shared across peeks -- never mutated).
+        out = self._scratch
+        out.issue_time = best_t
+        out.priority = best_prio
+        if best_prio == PRIO_COLUMN:
+            _, out.arrival, out.seq, out.txn = best
+            out.kind = CommandKind.WR if best_col_args[0] \
+                else CommandKind.RD
+            out.victim = out.cause = None
+            out.col_args = best_col_args
+        elif best_prio == PRIO_ACT:
+            _, out.arrival, out.seq, out.txn = best
+            out.kind = CommandKind.ACT
+            out.victim = out.cause = out.col_args = None
+        elif best_prio == PRIO_PRE:
+            _, out.arrival, out.seq, out.txn, out.victim, out.cause = \
+                best
+            out.kind = CommandKind.PRE
+            out.col_args = None
+        else:
+            _, out.arrival, out.seq, out.victim = best
+            out.txn = None
+            out.kind = CommandKind.PRE
+            out.cause = PrechargeCause.POLICY
+            out.col_args = None
+        return out
 
     # -- selection ---------------------------------------------------------
 
@@ -452,6 +759,7 @@ class Scheduler:
         if self.incremental:
             return self._best_incremental(now)
         cands = self.candidates(now)
+        self.candidates_examined += len(cands)
         if not cands:
             return None
         return min(cands, key=Candidate.sort_key)

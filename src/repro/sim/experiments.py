@@ -21,7 +21,12 @@ from repro.cpu.trace import Trace
 from repro.dram.timing import FIG14_BUS_FREQUENCIES_HZ
 from repro.sim import config as cfgs
 from repro.sim.config import SystemConfig
-from repro.sim.metrics import gmean, quartiles, weighted_speedup
+from repro.sim.metrics import (
+    LatencyHistogram,
+    gmean,
+    quartiles,
+    weighted_speedup,
+)
 from repro.sim.parallel import AloneIpcDiskCache, SimJob, run_grid
 from repro.sim.simulator import SimulationResult, run_traces
 from repro.workloads.generator import generate_traces
@@ -451,11 +456,12 @@ def fig16(context: ExperimentContext) -> List[LatencyEnergyRow]:
                       for mix in context.settings.mixes], alone=False)
     rows: List[LatencyEnergyRow] = []
     for config in fig16_configs():
-        latencies: List[int] = []
+        # Merging histograms is O(unique latencies), never O(samples).
+        latencies = LatencyHistogram()
         background = activation = total = 0.0
         for mix in context.settings.mixes:
             result = context.run(config, mix)
-            latencies.extend(result.stats.read_latencies)
+            latencies.merge(result.stats.read_latencies)
             background += result.energy.background_energy_nj(
                 result.elapsed_ps)
             activation += result.energy.activation_energy_nj()

@@ -14,7 +14,8 @@ halving simulation cost.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Sequence
+from collections import Counter
+from typing import Dict, Iterable, Iterator, Sequence, Union
 
 
 def rate(part: float, whole: float) -> float:
@@ -69,14 +70,123 @@ def gmean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
-def quartiles(samples: Sequence[int]) -> Dict[str, float]:
+class LatencyHistogram:
+    """Bounded-memory exact latency accumulator (Fig. 16a inputs).
+
+    Functionally a multiset of integer latencies, stored as
+    ``{value: count}`` so memory is O(unique values) instead of O(
+    samples): a grid cell serving millions of reads keeps a few
+    thousand distinct latencies.  Everything downstream is exact --
+    quantiles use the same nearest-rank definition as
+    :func:`quartiles`, and iteration yields the *sorted expansion*
+    (each value repeated ``count`` times), which is how the result
+    digest reproduces the historical sorted-list encoding bit for bit.
+
+    >>> h = LatencyHistogram([3, 1, 3])
+    >>> list(h), len(h), h.min()
+    ([1, 3, 3], 3, 1)
+    >>> h.merge(LatencyHistogram([2])); h.quartiles()["median"]
+    2.0
+    """
+
+    __slots__ = ("counts", "total")
+
+    def __init__(self, values: Iterable[int] = ()) -> None:
+        self.counts: Counter = Counter(values)
+        self.total = sum(self.counts.values())
+
+    def add(self, value: int) -> None:
+        """Record one sample."""
+        self.counts[value] += 1
+        self.total += 1
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram in -- O(unique values of ``other``)."""
+        self.counts.update(other.counts)
+        self.total += other.total
+
+    def min(self) -> int:
+        """Smallest recorded sample."""
+        if not self.total:
+            raise ValueError("empty histogram")
+        return min(self.counts)
+
+    def max(self) -> int:
+        """Largest recorded sample."""
+        if not self.total:
+            raise ValueError("empty histogram")
+        return max(self.counts)
+
+    def mean(self) -> float:
+        """Arithmetic mean of all samples."""
+        if not self.total:
+            raise ValueError("empty histogram")
+        return sum(v * c for v, c in self.counts.items()) / self.total
+
+    def quantile(self, fraction: float) -> float:
+        """Nearest-rank quantile: the sample at 1-indexed rank
+        ``ceil(fraction * n)``, identical to :func:`quartiles`' pick."""
+        if not self.total:
+            raise ValueError("empty histogram")
+        rank = max(1, math.ceil(fraction * self.total))
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= rank:
+                return float(value)
+        raise AssertionError("rank beyond total")  # pragma: no cover
+
+    def quartiles(self) -> Dict[str, float]:
+        """Same dict as :func:`quartiles` over the expansion, computed
+        from counts without materialising the samples."""
+        return {
+            "mean": self.mean(),
+            "q1": self.quantile(0.25),
+            "median": self.quantile(0.5),
+            "q3": self.quantile(0.75),
+        }
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __bool__(self) -> bool:
+        return self.total > 0
+
+    def __iter__(self) -> Iterator[int]:
+        """Sorted expansion: each value repeated ``count`` times."""
+        for value in sorted(self.counts):
+            count = self.counts[value]
+            for _ in range(count):
+                yield value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LatencyHistogram):
+            return self.counts == other.counts
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"LatencyHistogram(samples={self.total}, "
+                f"unique={len(self.counts)})")
+
+
+def quartiles(samples: Union[Sequence[int], LatencyHistogram]
+              ) -> Dict[str, float]:
     """Mean and quartiles of a latency sample (Fig. 16a box stats).
 
     Quartiles use the nearest-rank definition: the p-quantile of n
     sorted samples is element ``ceil(p * n)`` (1-indexed), so e.g.
     ``median([1, 2, 3, 4]) == 2.0`` (the lower middle element, rank 2),
     never an element above the requested fraction.
+
+    A :class:`LatencyHistogram` is answered from its counts directly
+    (no expansion); the two routes agree exactly.
     """
+    if isinstance(samples, LatencyHistogram):
+        if not samples:
+            raise ValueError("no samples")
+        return samples.quartiles()
     if not samples:
         raise ValueError("no samples")
     s = sorted(samples)

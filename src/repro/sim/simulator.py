@@ -19,6 +19,17 @@ re-sorting every core on every iteration.  Stale entries (a read
 completion moved a core from ``BLOCKED`` to ready) are dropped lazily at
 the top of the heap.  Controller proposals are cached per channel and
 invalidated only when that channel's state changes.
+
+Admission uses **wake-on-room parking**: a core whose target channel
+queue is full leaves the arrival heap and waits in that channel's
+per-channel wait list, re-armed only when the controller retires a
+transaction (the sole event that frees queue room), instead of
+busy-retrying its doomed ``has_room`` probe on every loop iteration.
+Parking is behaviourally invisible -- the retries it skips are pure
+reads, and the parked entry re-enters the heap under its original
+(ready time, core id) key before the first instant admission can
+succeed -- so digests match with parking on or off
+(``tests/sim/test_determinism.py``).
 """
 
 from __future__ import annotations
@@ -54,6 +65,13 @@ class MemorySystem:
     command stream is bit-identical either way.
     """
 
+    #: Capacity bound on the address-route memo.  Traces with a huge
+    #: address footprint (or an adversarial address stream) would
+    #: otherwise grow the memo without limit; on overflow the whole
+    #: memo is dropped (decoding is cheap to redo, and clearing keeps
+    #: the hit path a plain dict ``get`` with no bookkeeping).
+    ROUTE_CACHE_CAPACITY = 1 << 16
+
     def __init__(self, config: SystemConfig,
                  observe=None) -> None:
         self.config = config
@@ -75,9 +93,17 @@ class MemorySystem:
                 observer=observer, incremental=config.incremental))
         #: Memoised address routing: traces revisit rows constantly, and
         #: a failed enqueue (full queue) re-routes the same address, so
-        #: decoded coordinates are cached per physical address.
+        #: decoded coordinates are cached per physical address (bounded
+        #: by :attr:`ROUTE_CACHE_CAPACITY`).
         self._route_cache: Dict[int, Tuple[ChannelController,
                                            "object", int]] = {}
+        #: How many times the route memo overflowed and was cleared.
+        self.route_cache_clears = 0
+
+    @property
+    def route_cache_size(self) -> int:
+        """Current number of memoised address routes."""
+        return len(self._route_cache)
 
     def controller_for(self, address: int):
         """(controller, coords, channel index) serving this address."""
@@ -86,6 +112,9 @@ class MemorySystem:
             coords = self.mapping.decode(address)
             route = (self.controllers[coords.channel], coords,
                      coords.channel)
+            if len(self._route_cache) >= self.ROUTE_CACHE_CAPACITY:
+                self._route_cache.clear()
+                self.route_cache_clears += 1
             self._route_cache[address] = route
         return route
 
@@ -175,20 +204,42 @@ class CommandBudgetExceeded(RuntimeError):
 
 
 class Simulator:
-    """Run a set of trace cores against one memory system."""
+    """Run a set of trace cores against one memory system.
+
+    ``park_admission`` selects the admission strategy for cores whose
+    target channel queue is full: ``True`` (the default) parks them in
+    a per-channel wait list and re-arms them when that controller
+    retires a transaction; ``False`` keeps the historical busy-retry
+    (the failed arrival re-enters the heap and re-probes every
+    iteration).  Both produce identical digests -- parking only skips
+    side-effect-free ``has_room`` probes that were bound to fail.
+    """
 
     def __init__(self, system: MemorySystem,
-                 cores: List[TraceCore]) -> None:
+                 cores: List[TraceCore],
+                 park_admission: bool = True) -> None:
         self.system = system
         self.cores = cores
         self.now = 0
+        self.park_admission = park_admission
         #: Cached scheduler proposals per channel, invalidated on change.
         self._peeks: List = [None] * len(system.controllers)
         self._dirty = [True] * len(system.controllers)
         #: Min-heap of (ready time, core id) arrival events; cores whose
         #: next access is BLOCKED have no entry until a read completion
-        #: re-inserts them.
+        #: re-inserts them, and cores parked on a full queue have no
+        #: entry until room opens on their channel.
         self._arrivals: List[Tuple[int, int]] = []
+        #: Wake-on-room wait lists: per channel, the (ready, core id)
+        #: heap entries of cores whose admission failed on a full
+        #: queue.  Re-armed wholesale when that controller retires a
+        #: transaction (the only event that frees room).
+        self._parked: List[List[Tuple[int, int]]] = [
+            [] for _ in system.controllers]
+        #: Core ids currently parked (guards against double-parking a
+        #: core whose stale heap duplicate -- e.g. pushed by a read
+        #: completion -- fails admission again while parked).
+        self._parked_cores: set = set()
 
     # -- internals ---------------------------------------------------------
 
@@ -199,9 +250,17 @@ class Simulator:
         return self._peeks[idx]
 
     def _earliest_command(self):
+        # _peek_channel, inlined: this runs once per main-loop
+        # iteration and the call overhead was measurable on wide grids.
         best_idx, best = None, None
-        for idx in range(len(self.system.controllers)):
-            cand = self._peek_channel(idx)
+        peeks, dirty = self._peeks, self._dirty
+        controllers = self.system.controllers
+        now = self.now
+        for idx in range(len(controllers)):
+            if dirty[idx]:
+                peeks[idx] = controllers[idx].peek(now)
+                dirty[idx] = False
+            cand = peeks[idx]
             if cand is None:
                 continue
             if best is None or cand.issue_time < best.issue_time:
@@ -212,6 +271,16 @@ class Simulator:
         entry = core.peek_entry()
         controller, coords, idx = self.system.controller_for(entry.address)
         if not controller.has_room(not entry.is_write):
+            if self.park_admission:
+                # Park under the target channel; _commit re-arms the
+                # entry when this controller retires a transaction.  A
+                # core can only be parked once -- duplicates (stale
+                # heap entries) are dropped here and re-created from
+                # the parked entry on wake.
+                cid = core.core_id
+                if cid not in self._parked_cores:
+                    self._parked_cores.add(cid)
+                    self._parked[idx].append((ready, cid))
             return False
         time = max(self.now, ready)
         core.pop_request(time)
@@ -233,6 +302,16 @@ class Simulator:
         completed = controller.commit(candidate)
         self.now = max(self.now, candidate.issue_time)
         self._dirty[idx] = True
+        if completed and self._parked[idx]:
+            # A retired transaction freed queue room: wake every core
+            # parked on this channel.  Entries re-enter the heap under
+            # their original (ready, core id) keys, so the admission
+            # order after the wake matches what busy-retry would have
+            # tried on its next iteration.
+            for item in self._parked[idx]:
+                heapq.heappush(self._arrivals, item)
+                self._parked_cores.discard(item[1])
+            self._parked[idx].clear()
         for txn in completed:
             if txn.is_read and txn.core >= 0:
                 core = self.cores[txn.core]
@@ -252,19 +331,25 @@ class Simulator:
         cores = self.cores
         heap = self._arrivals
         heap.clear()
+        for parked in self._parked:
+            parked.clear()
+        self._parked_cores.clear()
         for core in cores:
             ready = core.next_request_time()
             if ready < BLOCKED:
                 heap.append((ready, core.core_id))
         heapq.heapify(heap)
         heappush, heappop = heapq.heappush, heapq.heappop
+        park = self.park_admission
         while True:
             cmd_idx, cmd = self._earliest_command()
             cmd_time = cmd.issue_time if cmd is not None else BLOCKED
 
             # All ready core requests, earliest first.  Cores whose target
-            # queue is full must not head-of-line-block other cores, so a
-            # failed admission is set aside and retried next iteration.
+            # queue is full must not head-of-line-block other cores: a
+            # failed admission parks in the channel's wait list until
+            # room opens (or, under busy-retry, is set aside and retried
+            # next iteration).
             enqueued = False
             deferred = None
             while heap:
@@ -286,6 +371,8 @@ class Simulator:
                     if nxt < BLOCKED:
                         heappush(heap, (nxt, cid))
                     break
+                if park:
+                    continue  # parked under its channel by _try_enqueue
                 if deferred is None:
                     deferred = []
                 deferred.append((ready, cid))
@@ -298,6 +385,10 @@ class Simulator:
             if cmd is None:
                 if all(core.done for core in self.cores):
                     break
+                if self._parked_cores:
+                    raise DeadlockError(
+                        "cores parked on a full queue but no channel has "
+                        "a command pending -- lost a wake-on-room signal?")
                 raise DeadlockError(
                     "no events but cores unfinished -- lost a completion?")
             self._commit(cmd_idx, cmd)
@@ -315,6 +406,7 @@ class Simulator:
         energy = EnergyMeter(self.system.config.energy)
         causes = {cause: 0 for cause in PrechargeCause}
         for controller in self.system.controllers:
+            controller.collect_perf_counters()
             stats.merge(controller.stats)
             energy.merge(controller.channel.energy)
             for cause, n in controller.channel.precharge_causes.items():

@@ -1,0 +1,93 @@
+"""Floor-indexed selection tables: exactness and tie-break safety.
+
+The hypothesis property here is the correctness core of the incremental
+scheduler's tentpole data structure: for *any* candidate set and *any*
+floor, :meth:`SelectionTable.select` must return exactly the minimum of
+the floor-clamped sort keys that a brute-force scan would find.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.scheduler import SelectionTable, _policy_seq
+from repro.sim import config as cfgs
+
+# Small time ranges on purpose: collisions in (t, arrival) are the
+# interesting cases (the prefix-min and the seq tie-break must resolve
+# them), and a floor inside the t range exercises the bisect boundary.
+_entry = st.tuples(st.integers(0, 40), st.integers(0, 40),
+                   st.integers(0, 10**6))
+_entries = st.lists(_entry, min_size=1, max_size=32,
+                    unique_by=lambda e: e[2])
+
+
+def _brute_force(entries, floor):
+    """min over floor-clamped keys, the definitionally-correct oracle."""
+    clamped = [((e[0] if e[0] > floor else floor), e[1], e[2], e)
+               for e in entries]
+    return min(clamped, key=lambda c: c[:3])
+
+
+class TestSelectionProperty:
+    @settings(max_examples=300, deadline=None)
+    @given(entries=_entries, floor=st.integers(-5, 50))
+    def test_select_equals_brute_force_min(self, entries, floor):
+        # seq is unique, so the clamped key (t, arrival, seq) is unique
+        # and the winner is a single well-defined entry.
+        table = SelectionTable(list(entries))
+        assert table.select(floor) == _brute_force(entries, floor)
+
+    @settings(max_examples=100, deadline=None)
+    @given(entries=_entries)
+    def test_floor_below_everything_returns_head(self, entries):
+        table = SelectionTable(list(entries))
+        t, arrival, seq, entry = table.select(-1)
+        assert (t, arrival, seq) == min(e[:3] for e in entries)
+        assert entry[:3] == (t, arrival, seq)
+
+    @settings(max_examples=100, deadline=None)
+    @given(entries=_entries)
+    def test_floor_above_everything_picks_oldest(self, entries):
+        # Every t collapses onto the floor: pure (arrival, seq) FCFS.
+        floor = max(e[0] for e in entries) + 1
+        t, arrival, seq, _ = SelectionTable(list(entries)).select(floor)
+        assert t == floor
+        assert (arrival, seq) == min((e[1], e[2]) for e in entries)
+
+    def test_payload_fields_ride_along(self):
+        # Entries may carry any payload after (t, arrival, seq); the
+        # winner's full tuple comes back untouched.
+        marker = object()
+        entries = [(5, 1, 0, marker, "extra"), (9, 0, 1, None, None)]
+        _, _, _, entry = SelectionTable(entries).select(7)
+        assert entry[3] is marker
+
+    def test_single_entry_table_clamps(self):
+        entry = (10, 3, 7, "x")
+        table = SelectionTable([entry])
+        assert table.select(4) == (10, 3, 7, entry)
+        assert table.select(25) == (25, 3, 7, entry)
+
+
+class TestPolicySeqPacking:
+    def test_historical_collision_is_gone(self):
+        # The narrow packing collided at (bank=0, subbank=1, group=0)
+        # vs (bank=0, subbank=0, group=2^15).
+        assert _policy_seq(0, (1, 0)) != _policy_seq(0, (0, 1 << 15))
+
+    def test_unique_across_every_preset_geometry(self):
+        for preset in cfgs.all_presets():
+            channel = preset.build_channel()
+            seqs = [
+                _policy_seq(bank_index, slot)
+                for bank_index, bank in enumerate(channel.banks)
+                for slot in bank.slots
+            ]
+            assert len(seqs) == len(set(seqs)), preset.name
+
+    def test_rank_matches_bank_subbank_group_order(self):
+        keys = [(b, sb, g) for b in (0, 1, 5) for sb in (0, 1)
+                for g in (0, 1, 7, 1 << 20)]
+        seqs = [_policy_seq(b, (sb, g)) for b, sb, g in keys]
+        assert sorted(seqs) == [_policy_seq(b, (sb, g))
+                                for b, sb, g in sorted(keys)]

@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.metrics import gmean, normalized, quartiles, weighted_speedup
+from repro.sim.metrics import (
+    LatencyHistogram,
+    gmean,
+    normalized,
+    quartiles,
+    weighted_speedup,
+)
 
 
 class TestWeightedSpeedup:
@@ -106,3 +112,44 @@ class TestQuartiles:
     def test_unsorted_input(self):
         q = quartiles([3, 1, 2])
         assert q["median"] == 2
+
+
+class TestLatencyHistogram:
+    def test_iter_is_sorted_expansion(self):
+        h = LatencyHistogram([5, 1, 5, 3, 1, 1])
+        assert list(h) == [1, 1, 1, 3, 5, 5]
+        assert len(h) == 6
+
+    def test_equals_list_and_histogram(self):
+        h = LatencyHistogram([2, 7, 2])
+        assert h == [2, 2, 7]
+        assert h == LatencyHistogram([7, 2, 2])
+        assert h != [2, 7]
+
+    def test_add_and_merge_accumulate(self):
+        h = LatencyHistogram()
+        assert not h
+        h.add(4)
+        h.merge(LatencyHistogram([4, 9]))
+        assert list(h) == [4, 4, 9]
+        assert h.min() == 4 and h.max() == 9
+        assert h.mean() == pytest.approx(17 / 3)
+
+    def test_memory_is_bounded_by_unique_values(self):
+        h = LatencyHistogram([7] * 100000)
+        assert len(h) == 100000
+        assert len(h.counts) == 1
+
+    def test_empty_statistics_rejected(self):
+        h = LatencyHistogram()
+        for op in (h.min, h.max, h.mean, h.quartiles):
+            with pytest.raises(ValueError):
+                op()
+
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_quartiles_match_list_route_exactly(self, samples):
+        # The histogram computes quantiles from counts; the list route
+        # sorts and indexes.  Both must agree for every input.
+        assert (quartiles(LatencyHistogram(samples))
+                == quartiles(sorted(samples)))

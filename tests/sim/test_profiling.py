@@ -1,0 +1,53 @@
+"""The cProfile harness shared by ``repro profile`` and tools/."""
+
+import pstats
+
+from repro.cli import main
+from repro.sim import config as cfgs
+from repro.sim.profiling import profile_run
+
+
+class TestProfileRun:
+    def test_reports_counters_and_digest(self):
+        report = profile_run(cfgs.ddr4_baseline(), "mix0", accesses=60)
+        assert report.commands > 0
+        assert report.transactions > 0
+        assert report.peeks > 0
+        assert len(report.digest) == 64
+        assert report.commands_per_second > 0
+
+    def test_paths_profile_to_the_same_digest(self):
+        cell = dict(mix="mix0", accesses=60)
+        reference = profile_run(cfgs.vsb(), incremental=False, **cell)
+        incremental = profile_run(cfgs.vsb(), incremental=True, **cell)
+        assert reference.digest == incremental.digest
+        assert reference.commands == incremental.commands
+        # The selection tables examine strictly fewer candidates.
+        assert (incremental.candidates_examined
+                < reference.candidates_examined)
+
+    def test_format_table_lists_scheduler_frames(self):
+        report = profile_run(cfgs.ddr4_baseline(), "mix0", accesses=60)
+        text = report.format_table(limit=40, sort="cumulative")
+        assert "digest:" in text
+        assert "simulator" in text  # the profiled event loop shows up
+
+    def test_dump_writes_loadable_pstats(self, tmp_path):
+        report = profile_run(cfgs.ddr4_baseline(), "mix0", accesses=60)
+        out = tmp_path / "profile.pstats"
+        report.dump(str(out))
+        assert pstats.Stats(str(out)).total_calls > 0
+
+
+class TestProfileCli:
+    def test_repro_profile_smoke(self, capsys):
+        main(["profile", "--config", "ddr4", "--mix", "mix0",
+              "--accesses", "60", "--limit", "5"])
+        out = capsys.readouterr().out
+        assert "digest:" in out
+        assert "commands:" in out
+
+    def test_repro_profile_reference_path(self, capsys):
+        main(["profile", "--config", "ddr4", "--mix", "mix0",
+              "--accesses", "60", "--path", "reference"])
+        assert "digest:" in capsys.readouterr().out
