@@ -134,10 +134,16 @@ def cmd_run(args) -> None:
 
 def cmd_stats(args) -> None:
     """``repro stats``: full stall attribution for one (config, mix)."""
+    from repro.sim.parallel import trace_memo_stats
     result = _observed_run(args)
     report = result.accounting
     report.verify()
     print(report.format_table(per_bank=args.per_bank))
+    memo = trace_memo_stats()
+    print(f"route cache: {result.route_cache_size} entries, "
+          f"{result.route_cache_clears} oldest-half evictions; "
+          f"trace memo: {memo['size']} entries, "
+          f"{memo['evictions']} oldest-half evictions")
     if args.json:
         with open(args.json, "w") as fh:
             report.write_json(fh)
@@ -284,6 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the experiment grid "
                             "(default 1 = serial; 0 = all cores)")
+        p.add_argument("--shards", choices=("off", "serial", "threads"),
+                       default=None,
+                       help="simulation backend: 'off' = classic global "
+                            "event loop, 'serial' = channel-sharded "
+                            "(default), 'threads' = one worker thread "
+                            "per channel; all three are "
+                            "digest-identical")
         return p
 
     sub.add_parser("list", help="configurations, mixes, experiments"
@@ -371,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = build_parser().parse_args(argv)
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        # Set the module default so every simulation this invocation
+        # triggers -- including grid workers forked later -- inherits
+        # the chosen backend.
+        from repro.sim import shards as shards_mod
+        shards_mod.SHARDS_DEFAULT = shards
     args.func(args)
 
 

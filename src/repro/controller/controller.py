@@ -78,6 +78,12 @@ class ChannelController:
                                    incremental=incremental)
         self.stats = ControllerStats()
         self.observer = observer
+        #: Optional retire hook: called with each transaction the moment
+        #: a column command removes it from the queues (the only event
+        #: that frees queue room).  The sharded simulator
+        #: (:mod:`repro.sim.shards`) uses it for wake-on-room parking;
+        #: the classic loop keeps using :meth:`commit`'s return value.
+        self.on_retire = None
 
     # -- admission ---------------------------------------------------------
 
@@ -148,6 +154,8 @@ class ChannelController:
         txn.completion_time = data_end
         self.queues.remove(txn)
         self.scheduler.note_remove(txn)
+        if self.on_retire is not None:
+            self.on_retire(txn)
         self.stats.columns += 1
         if txn.is_read:
             self.stats.read_latencies.add(txn.queueing_latency)

@@ -84,6 +84,12 @@ class SystemConfig:
     #: Four-activate window override in nanoseconds: None keeps the
     #: preset's value, 0 disables the window (the pre-tFAW model).
     tfaw_ns: Optional[float] = None
+    #: Execution backend for one simulation: ``"off"`` runs the classic
+    #: global event loop, ``"serial"`` / ``"threads"`` the
+    #: channel-sharded loop (:mod:`repro.sim.shards`).  None keeps the
+    #: module default (:data:`repro.sim.shards.SHARDS_DEFAULT`).  A
+    #: host-side knob only -- every backend is digest-identical.
+    shards: Optional[str] = None
 
     # -- derived properties ----------------------------------------------
 

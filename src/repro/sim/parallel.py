@@ -20,11 +20,13 @@ call.  Set ``REPRO_CACHE_DIR`` to relocate it (e.g. to a pytest
 
 from __future__ import annotations
 
+import atexit
 import json
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, List, Optional, Sequence
 
 from repro.cpu.core import CoreConfig
@@ -38,6 +40,16 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: Bump to invalidate every persisted entry after a modelling change.
 #: v2: the tFAW four-activate window changed simulated IPCs.
 CACHE_VERSION = 2
+
+#: Environment variable overriding :data:`DEFAULT_GRID_MIN_COST`: set it
+#: to ``0`` to force the pool path, or very high to force serial.
+GRID_MIN_COST_ENV = "REPRO_GRID_MIN_COST"
+#: Minimum estimated grid cost (accesses x cores, summed over jobs)
+#: below which :func:`run_grid` stays serial: small grids lose more to
+#: pool startup than they gain from overlap (the "parallel-overhead
+#: cliff" -- a 3-job figure run used to fork a pool per call and come
+#: out slower than serial).
+DEFAULT_GRID_MIN_COST = 50_000
 
 
 @dataclass(frozen=True)
@@ -66,10 +78,25 @@ class SimJob:
 
 #: Per-process trace memo: a worker that draws several cells of the
 #: same (mix, accesses, frag, seed) regenerates the traces only once.
+#: Bounded by oldest-half eviction (insertion order approximates age)
+#: so recent entries survive an overflow instead of a full wipe.
 _trace_memo: Dict[tuple, object] = {}
+TRACE_MEMO_CAPACITY = 64
+_trace_memo_evictions = 0
+
+
+def trace_memo_stats() -> Dict[str, int]:
+    """Current size and eviction count of this process's trace memo.
+
+    Surfaced by ``repro stats`` next to the route-cache counters; an
+    eviction is one oldest-half sweep, not one dropped entry.
+    """
+    return {"size": len(_trace_memo),
+            "evictions": _trace_memo_evictions}
 
 
 def _job_traces(job: SimJob):
+    global _trace_memo_evictions
     key = (job.mix, job.benchmark, job.accesses, job.fragmentation,
            job.seed)
     traces = _trace_memo.get(key)
@@ -85,8 +112,10 @@ def _job_traces(job: SimJob):
             traces = mix_traces(job.mix, job.accesses,
                                 fragmentation=job.fragmentation,
                                 seed=job.seed)
-        if len(_trace_memo) > 64:  # bound worker memory
-            _trace_memo.clear()
+        if len(_trace_memo) >= TRACE_MEMO_CAPACITY:  # bound memory
+            for old in list(islice(_trace_memo, len(_trace_memo) // 2)):
+                del _trace_memo[old]
+            _trace_memo_evictions += 1
         _trace_memo[key] = traces
     return traces
 
@@ -103,32 +132,95 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _job_cost(job: SimJob) -> int:
+    """Rough work estimate for one cell: accesses x simulated cores."""
+    if job.benchmark is not None:
+        return job.accesses
+    from repro.workloads.mixes import MIXES
+    entry = MIXES.get(job.mix)
+    return job.accesses * (len(entry[0]) if entry else 4)
+
+
+def grid_min_cost() -> int:
+    """Serial-fallback threshold, honouring ``REPRO_GRID_MIN_COST``."""
+    raw = os.environ.get(GRID_MIN_COST_ENV)
+    if raw is not None:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_GRID_MIN_COST
+
+
+#: Warm executor reused across run_grid calls, keyed by the module
+#: state the fork snapshots: consecutive figure runners used to pay a
+#: full pool fork each, which is where the parallel-overhead cliff came
+#: from on small grids.
+_warm_pool: Optional[ProcessPoolExecutor] = None
+_warm_pool_key: Optional[tuple] = None
+
+
+def _pool_fingerprint(workers: int) -> tuple:
+    # fork snapshots module globals, so a pool is only reusable while
+    # the defaults its workers inherited still match the parent's.
+    from repro.controller.scheduler import INCREMENTAL_DEFAULT
+    from repro.sim.shards import SHARDS_DEFAULT
+    return (workers, INCREMENTAL_DEFAULT, SHARDS_DEFAULT,
+            os.environ.get(CACHE_DIR_ENV))
+
+
+def _warm_executor(workers: int) -> ProcessPoolExecutor:
+    global _warm_pool, _warm_pool_key
+    key = _pool_fingerprint(workers)
+    if _warm_pool is not None and _warm_pool_key != key:
+        _warm_pool.shutdown(wait=False)
+        _warm_pool = None
+    if _warm_pool is None:
+        # fork shares the loaded modules with the workers; spawn (the
+        # only option on some platforms) re-imports them, which is
+        # still correct because jobs are self-contained.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        _warm_pool = ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=ctx)
+        _warm_pool_key = key
+    return _warm_pool
+
+
+@atexit.register
+def _shutdown_warm_pool() -> None:
+    global _warm_pool
+    if _warm_pool is not None:
+        _warm_pool.shutdown(wait=False)
+        _warm_pool = None
+
+
 def run_grid(jobs: Sequence[SimJob], workers: int = 1
              ) -> List[SimulationResult]:
     """Run every job, across ``workers`` processes, in submission order.
 
     ``workers <= 1`` (or a single job) runs serially in-process -- same
     results, no pool overhead -- so callers can pass their ``--jobs``
-    value straight through.
+    value straight through.  Grids whose estimated cost (accesses x
+    cores, summed) falls below :func:`grid_min_cost` also run serially:
+    pool startup costs more than the overlap recovers.  Larger grids go
+    to a warm :class:`ProcessPoolExecutor` that survives across calls.
     """
     jobs = list(jobs)
-    if workers <= 1 or len(jobs) <= 1:
+    if (workers <= 1 or len(jobs) <= 1
+            or sum(_job_cost(job) for job in jobs) < grid_min_cost()):
         return [_run_job(job) for job in jobs]
-    # fork shares the loaded modules with the workers; spawn (the only
-    # option on some platforms) re-imports them, which is still correct
-    # because jobs are self-contained.
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else None)
-    pool_size = min(workers, len(jobs))
-    with ProcessPoolExecutor(max_workers=pool_size,
-                             mp_context=ctx) as pool:
-        # Mild chunking amortises IPC without hurting load balance.
-        # Sized from the actual pool, not the requested worker count: a
-        # short job list on a wide pool must not collapse to one chunk
-        # per worker short of covering the list.
-        chunk = max(1, len(jobs) // (pool_size * 4))
-        return list(pool.map(_run_job, jobs, chunksize=chunk))
+    # The warm pool is keyed by the requested worker count (not the
+    # possibly smaller per-call pool size) so differently sized grids
+    # share one executor.
+    pool = _warm_executor(workers)
+    # Mild chunking amortises IPC without hurting load balance.  Sized
+    # from the workers a grid can actually occupy: a short job list on
+    # a wide pool must not collapse to one chunk per worker short of
+    # covering the list.
+    chunk = max(1, len(jobs) // (min(workers, len(jobs)) * 4))
+    return list(pool.map(_run_job, jobs, chunksize=chunk))
 
 
 class AloneIpcDiskCache:

@@ -1,0 +1,695 @@
+"""Per-channel event shards with horizon-bounded run-ahead.
+
+The classic loop in :mod:`repro.sim.simulator` interleaves *all*
+channels' commands in one global time order, re-scanning every channel's
+peek per command even though the timing model makes channels fully
+independent: a command on channel ``c`` reads and writes only ``c``'s
+banks, buses and queues.  Channels couple exclusively through the cores
+-- a core hands its next access to whichever channel its address maps
+to, and a read completion on one channel may unblock a core whose next
+access routes to another.
+
+This module exploits that structure.  Each :class:`ChannelShard` owns
+one controller plus everything channel-local the classic loop kept
+globally: the peek cache, the wake-on-room parked list, a local arrival
+heap of the cores currently bound to it, and a local clock.  A shard
+retires commands *autonomously* up to its **interaction horizon** -- the
+earliest simulated time at which anything outside the shard could still
+hand it work -- and the main loop degenerates to a cheap barrier that
+computes horizons and forwards cross-channel arrivals between rounds.
+
+Correctness argument (property-tested in ``tests/sim/test_shards.py``,
+digest-proven against the classic loop on every preset and under the
+differential fuzzer):
+
+1. **Local clocks are exact.**  The classic loop peeks a channel with
+   the *global* ``now``, but it processes events in global time order,
+   so ``now`` never exceeds any pending candidate's effective issue
+   time (the candidate would have been committed first).  Every
+   candidate time is of the form ``max(u, now)`` with ``u`` built from
+   channel-local state, hence ``max(u, now_global) == max(u,
+   now_local)`` whenever ``now_local`` is the channel's own last event
+   time: peeking with the shard-local clock yields bit-identical
+   candidates.  The same argument covers admission stamps
+   (``max(now, ready)``): a fresh arrival always has ``ready >= now``,
+   and a parked core's wake stamp is the *retiring command's* time --
+   an event on the parking channel itself.
+
+2. **Horizons are conservative, via per-core routing lookahead.**
+   Since channels couple only through cores, shard ``c``'s horizon is
+   the minimum over cores of a lower bound on that core's next
+   *external* arrival at ``c``.  Within one round a shard processes no
+   events outside its own heap, parked list and queues (exports are
+   delivered only at the barrier), so every command channel ``d``
+   commits during the round issues at or after ``d``'s earliest
+   pending event ``S_d`` -- the per-round invariant both bounds below
+   lean on.  The trace fixes every future address
+   -- and therefore each core's whole future channel sequence -- so
+   only timing is dynamic, and two invariants bound it from below.
+   First, consecutive accesses are at least one issue slot apart:
+   ``ready[i+1] >= pop[i] + max(1, floor((1 + gap[i+1]) * instr_ps))``
+   (the access instruction itself occupies a slot; queueing and
+   blocking only delay further), prefix-summed per core into ``P`` so
+   that the arrival at trace index ``m`` is at least the current ready
+   time plus ``P[m+1] - P[cur+1]`` *whatever shards serve the indices
+   in between*.  Second, a blocked core resumes no earlier than the
+   read burst that unblocks it: its pinning read is already queued on
+   a known channel ``d``, the round's commands on ``d`` issue at or
+   after ``S_d``, and a read's data lands ``tCL + burst`` after its
+   CAS -- so the unblock time is at least ``min(S_d + tCL_d +
+   burst_d)`` over channels holding one of the core's outstanding
+   reads.  A core *parked* on a full queue gets the same lift: its
+   first access cannot pop before the column commit that wakes it, so
+   its base rises from its ready time to at least its home channel's
+   ``S_d``.  The contribution of core ``k`` to channel ``c`` is then
+   that base plus the ``P``-distance to ``k``'s first index routed to
+   ``c`` -- where for a core currently *bound to* ``c`` the first
+   external return is the first ``c``-index after its next channel
+   switch (everything before it is handled in-shard, in ready order).
+   One exception pierces that in-shard assumption: a bound core can
+   *block mid-round* behind a read a foreign channel still holds, and
+   its unblock is then delivered by that foreign shard -- an external
+   arrival back at the home channel before any channel switch.  So a
+   ready core with outstanding reads on foreign channels also clamps
+   its home channel's horizon to ``min(S_d + tCL_d + burst_d)`` over
+   those channels (never below ``ready + 1``): the unblocking data
+   burst cannot land earlier.  The clamp is *skipped* when no block
+   is possible before the core's next channel switch: every access
+   in the pre-switch window routes home, so unless the oldest
+   in-flight read can pin the ROB at the window's last entry (or a
+   ``depends`` entry pins on a pre-window read -- conservatively
+   treated as blockable), any block in the window resolves in-shard
+   (:meth:`ShardedSimulator._can_block_before_switch`).
+   ``H_c`` is the minimum over cores; the shard processes local
+   arrivals and commands with time *strictly below* ``H_c``, which
+   keeps same-instant tie-breaks (arrival-before-command, core-id
+   order) out of reach.  Progress is guaranteed: every contribution
+   to the shard owning the globally earliest event ``m`` exceeds
+   ``m`` by at least one step -- a heap-resident core's ready time is
+   itself a pending event (so at least ``m``, and external distances
+   are positive), while parked and blocked cores are lifted to at
+   least some channel's ``S_d >= m`` -- so that shard always runs.
+
+3. **Completions never stale a tracked core.**  A core that is ready
+   (heap or parked) computed its ready time without the still-pending
+   reads (otherwise it would have been ``BLOCKED``), so a completion
+   delivered mid-round cannot change it; only ``BLOCKED`` cores gain a
+   new arrival from a completion.  Shard-local heap entries are
+   therefore always fresh -- the classic loop's lazy stale-drop becomes
+   a defensive assertion here.
+
+Backends: ``serial`` runs the shards one after another inside a single
+thread -- the win is purely algorithmic (no per-command global peek
+scan, smaller per-shard heaps, long uninterrupted command runs) --
+while ``threads`` executes each round's shards on a thread pool.  The
+threads backend is digest-identical (shards touch disjoint channel
+state; the rare shared object, a core receiving a completion from a
+foreign channel, is guarded by a per-core lock) but only yields
+wall-clock speedups on free-threaded builds; under the GIL it is a
+correctness demonstrator for the horizon protocol.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+from repro.controller.controller import ChannelController
+from repro.controller.transaction import Transaction, TransactionKind
+from repro.cpu.core import BLOCKED, TraceCore
+from repro.sim.simulator import (
+    CommandBudgetExceeded,
+    DeadlockError,
+    MemorySystem,
+    SimulationResult,
+    collect_result,
+)
+
+#: Recognised execution backends for one simulation: ``off`` keeps the
+#: classic global event loop, ``serial`` runs the shards one after
+#: another in-thread, ``threads`` runs each round's shards on a pool.
+SHARD_MODES = ("off", "serial", "threads")
+
+#: Default backend when :attr:`SystemConfig.shards` is ``None``;
+#: overridable via the ``REPRO_SHARDS`` environment variable (the CLI
+#: ``--shards`` flag sets it per invocation).
+SHARDS_DEFAULT = os.environ.get("REPRO_SHARDS", "serial")
+
+
+def resolve_shard_mode(mode: Optional[str]) -> str:
+    """Validate ``mode``, falling back to :data:`SHARDS_DEFAULT`."""
+    if mode is None:
+        mode = SHARDS_DEFAULT
+    if mode not in SHARD_MODES:
+        raise ValueError(f"unknown shard mode {mode!r}; "
+                         f"expected one of {SHARD_MODES}")
+    return mode
+
+
+class _NullLock:
+    """No-op lock for the serial backend (no cross-thread sharing)."""
+
+    __slots__ = ()
+
+    def acquire(self) -> None:
+        pass
+
+    def release(self) -> None:
+        pass
+
+
+_NULL_LOCK = _NullLock()
+
+
+class ChannelShard:
+    """One channel's slice of the simulation: controller + core traffic.
+
+    Owns the channel-local state the classic loop kept in global
+    structures -- the cached scheduler proposal, the wake-on-room
+    parked list, the arrival heap of cores whose next access routes
+    here -- plus a local clock (the channel's last event time, exact by
+    argument 1 in the module docstring).
+    """
+
+    __slots__ = ("index", "sim", "controller", "now", "heap", "parked",
+                 "parked_ids", "peek_cache", "dirty", "exports",
+                 "debug", "round_max_issue", "parks")
+
+    def __init__(self, index: int, controller: ChannelController,
+                 sim: "ShardedSimulator") -> None:
+        self.index = index
+        self.sim = sim
+        self.controller = controller
+        #: Local clock: the channel's last event (arrival or commit).
+        self.now = 0
+        #: Min-heap of (ready time, core id) arrivals bound for this
+        #: channel.  Entries are always fresh (module docstring, 3).
+        self.heap: List[Tuple[int, int]] = []
+        #: Wake-on-room wait list, (ready, core id), original keys.
+        self.parked: List[Tuple[int, int]] = []
+        self.parked_ids: set = set()
+        self.peek_cache = None
+        self.dirty = True
+        #: Cross-channel arrivals produced this round:
+        #: (ready, core id, target shard index).
+        self.exports: List[Tuple[int, int, int]] = []
+        self.debug = False
+        #: Largest issue time committed this round (debug hooks only).
+        self.round_max_issue = -1
+        #: Wake-on-room parkings taken (perf counter, not in digests).
+        self.parks = 0
+        # Wake-on-room: the controller tells us the instant a column
+        # command retires a transaction (the only event freeing queue
+        # room), replacing the classic loop's check on commit's return.
+        controller.on_retire = self._on_retire
+
+    # -- internals ---------------------------------------------------------
+
+    def _on_retire(self, txn: Transaction) -> None:
+        """A retired transaction freed queue room: wake parked cores.
+
+        Entries re-enter the local heap under their original
+        (ready, core id) keys; admission then stamps them with
+        ``max(now, ready)`` where ``now`` is this very commit's time --
+        exactly the classic loop's wake protocol.
+        """
+        if self.parked:
+            heap = self.heap
+            for item in self.parked:
+                heapq.heappush(heap, item)
+                self.parked_ids.discard(item[1])
+            self.parked.clear()
+
+    def refresh_peek(self):
+        """The channel's pending proposal, recomputed only when dirty."""
+        if self.dirty:
+            self.peek_cache = self.controller.peek(self.now)
+            self.dirty = False
+        return self.peek_cache
+
+    def _track(self, ready: int, cid: int) -> None:
+        """Register a core's next arrival: local heap or export.
+
+        Called with the core's lock held (threads backend).  Routing
+        uses :meth:`TraceCore.next_request_address` -- the address is
+        known even before the core is ready to issue.
+        """
+        sim = self.sim
+        address = sim.cores[cid].next_request_address()
+        target = sim.system.controller_for(address)[2]
+        sim.tracked[cid] = True
+        if target == self.index:
+            heapq.heappush(self.heap, (ready, cid))
+        else:
+            self.exports.append((ready, cid, target))
+
+    def _commit(self, candidate) -> None:
+        """Issue ``candidate``; deliver completions; track unblocks."""
+        completed = self.controller.commit(candidate)
+        t = candidate.issue_time
+        if t > self.now:
+            self.now = t
+        if self.debug and t > self.round_max_issue:
+            self.round_max_issue = t
+        self.dirty = True
+        if completed:
+            sim = self.sim
+            cores, locks, tracked = sim.cores, sim.locks, sim.tracked
+            for txn in completed:
+                if txn.is_read and txn.core >= 0:
+                    cid = txn.core
+                    lock = locks[cid]
+                    lock.acquire()
+                    try:
+                        core = cores[cid]
+                        core.complete_read(txn.instruction,
+                                           txn.completion_time)
+                        sim.inflight[cid][self.index] -= 1
+                        # Only a BLOCKED core gains an arrival from a
+                        # completion (a tracked core's ready time is
+                        # provably unchanged -- module docstring, 3).
+                        if not tracked[cid]:
+                            ready = core.next_request_time()
+                            if ready < BLOCKED:
+                                self._track(ready, cid)
+                    finally:
+                        lock.release()
+
+    def run(self, horizon: int, budget: int) -> int:
+        """Process local events below ``horizon``; returns commands.
+
+        Replays the classic loop's per-iteration protocol verbatim, but
+        over channel-local structures only: admit every local arrival
+        whose ready time is at or before the pending command (and below
+        the horizon), re-peek after each admission, then commit the
+        pending command if it, too, is below the horizon.  At most
+        ``budget`` commands are committed (the caller's global
+        ``max_commands`` budget, split across shards).
+        """
+        committed = 0
+        heap = self.heap
+        controller = self.controller
+        sim = self.sim
+        cores, locks, tracked = sim.cores, sim.locks, sim.tracked
+        system = sim.system
+        heappop, heappush = heapq.heappop, heapq.heappush
+        while True:
+            if self.dirty:
+                self.peek_cache = controller.peek(self.now)
+                self.dirty = False
+            cand = self.peek_cache
+            cmd_time = cand.issue_time if cand is not None else BLOCKED
+            enqueued = False
+            while heap:
+                ready, cid = heap[0]
+                if ready >= horizon or ready > cmd_time:
+                    break
+                heappop(heap)
+                core = cores[cid]
+                lock = locks[cid]
+                lock.acquire()
+                try:
+                    actual = core.next_request_time()
+                    if actual != ready:
+                        # Defensive only: shard-local entries cannot go
+                        # stale (module docstring, 3).  Re-route so an
+                        # unforeseen divergence degrades loudly in the
+                        # digest tests instead of crashing here.
+                        if actual < BLOCKED:
+                            self._track(actual, cid)
+                        else:
+                            tracked[cid] = False
+                        continue
+                    entry = core.peek_entry()
+                    coords = system.controller_for(entry.address)[1]
+                    if not controller.has_room(not entry.is_write):
+                        # Park under our wait list; _on_retire re-arms.
+                        if cid not in self.parked_ids:
+                            self.parked_ids.add(cid)
+                            self.parked.append((ready, cid))
+                            self.parks += 1
+                        else:  # pragma: no cover - defensive
+                            tracked[cid] = False
+                        continue
+                    t = self.now if self.now > ready else ready
+                    core.pop_request(t)
+                    txn = Transaction(
+                        kind=(TransactionKind.WRITE if entry.is_write
+                              else TransactionKind.READ),
+                        address=entry.address,
+                        coords=coords,
+                        core=cid,
+                        instruction=core.instruction_index_of_last_request(),
+                    )
+                    controller.enqueue(txn, t)
+                    if not entry.is_write:
+                        sim.inflight[cid][self.index] += 1
+                    self.now = t
+                    self.dirty = True
+                    nxt = core.next_request_time()
+                    if nxt < BLOCKED:
+                        self._track(nxt, cid)
+                    else:
+                        tracked[cid] = False
+                finally:
+                    lock.release()
+                enqueued = True
+                break
+            if enqueued:
+                continue
+            if cand is None or cmd_time >= horizon or committed >= budget:
+                return committed
+            self._commit(cand)
+            committed += 1
+
+
+class ShardedSimulator:
+    """Channel-sharded runner: digest-identical to the classic loop.
+
+    ``backend`` is ``"serial"`` (shards advance one after another in
+    this thread) or ``"threads"`` (each round's runnable shards execute
+    on a pool, one worker per channel, with the barrier at horizon
+    points).  ``debug_trace``, when a list, receives one record per
+    round -- ``{"s", "horizons", "max_issue", "exports"}`` -- consumed
+    by the horizon property tests; leave ``None`` in production.
+    """
+
+    def __init__(self, system: MemorySystem, cores: List[TraceCore],
+                 backend: str = "serial",
+                 debug_trace: Optional[list] = None) -> None:
+        if backend not in ("serial", "threads"):
+            raise ValueError(f"unknown shard backend {backend!r}")
+        self.system = system
+        self.cores = cores
+        self.backend = backend
+        #: Whether each core currently has an arrival entry somewhere
+        #: (a shard heap, a parked list, or an export buffer).  Guards
+        #: completion handling against double-tracking.
+        self.tracked: List[bool] = [False] * len(cores)
+        #: Per-core locks (threads backend): a foreign channel's
+        #: completion may touch a core concurrently with its owner
+        #: shard's admission.  The serial backend pays two no-op calls.
+        if backend == "threads":
+            self.locks: List = [threading.Lock() for _ in cores]
+        else:
+            self.locks = [_NULL_LOCK] * len(cores)
+        self.shards = [ChannelShard(i, c, self)
+                       for i, c in enumerate(system.controllers)]
+        self.debug_trace = debug_trace
+        if debug_trace is not None:
+            for shard in self.shards:
+                shard.debug = True
+        #: Barrier rounds executed (perf counter, not digest-visible).
+        self.rounds = 0
+        #: Outstanding (enqueued, not yet completed) reads per core per
+        #: channel: the unblock bound in :meth:`_horizons` needs to
+        #: know which channels could be pinning a blocked core's ROB.
+        n = len(system.controllers)
+        self.inflight: List[List[int]] = [[0] * n for _ in cores]
+        #: Minimum CAS-to-data latency per channel: a read's data burst
+        #: ends ``tCL + burst`` after its column command.
+        self._min_read_latency = [
+            c.channel.timing.tCL + c.channel.timing.burst_time
+            for c in system.controllers]
+        # Per-core routing lookahead tables (module docstring, 2).  The
+        # trace fixes every future address, so each core's channel
+        # sequence and minimum inter-access spacing are known up front.
+        # Everything a round needs collapses into two flat tables per
+        # (core, channel), indexed by the core's current trace index:
+        #   _ext[k][c][i]  minimum ready-time distance from index i to
+        #                  core k's first *external* arrival at channel
+        #                  c -- for the core's own channel that is its
+        #                  first return after the next channel switch
+        #                  (everything before it is handled in-shard);
+        #   _blk[k][c][i]  the same distance counting index i itself
+        #                  (a blocked core's very next access is
+        #                  already external everywhere).
+        # BLOCKED marks "never arrives at c again".
+        self._len: List[int] = []
+        self._chan: List[List[int]] = []
+        self._ext: List[List[List[int]]] = []
+        self._blk: List[List[List[int]]] = []
+        # Mid-round-block necessity tables (see _can_block_before_switch):
+        #   _switch[k][i]   first index > i routed to a different channel;
+        #   _iidx[k][i]     instruction index assigned to entry i;
+        #   _next_dep[k][i] first index >= i with a ``depends`` entry.
+        self._switch: List[List[int]] = []
+        self._iidx: List[List[int]] = []
+        self._next_dep: List[List[int]] = []
+        self._rob: List[int] = [core.config.rob_size for core in cores]
+        for core in cores:
+            entries = core.trace.entries
+            length = len(entries)
+            chan = [system.controller_for(e.address)[2] for e in entries]
+            instr = core.config.instruction_time_ps
+            prefix = [0] * (length + 1)
+            for i, e in enumerate(entries):
+                step = int((1 + e.gap) * instr)
+                prefix[i + 1] = prefix[i] + (step if step > 1 else 1)
+            # diff[i]: first index > i routed differently than index i.
+            diff = [length] * length
+            for i in range(length - 2, -1, -1):
+                diff[i] = i + 1 if chan[i + 1] != chan[i] else diff[i + 1]
+            ext = []
+            blk = []
+            for c in range(n):
+                # next_at[i]: first index >= i routed to channel c.
+                next_at = [length] * (length + 1)
+                for i in range(length - 1, -1, -1):
+                    next_at[i] = i if chan[i] == c else next_at[i + 1]
+                blk_c = [BLOCKED] * length
+                ext_c = [BLOCKED] * length
+                for i in range(length):
+                    m = next_at[i]
+                    if m < length:
+                        blk_c[i] = prefix[m + 1] - prefix[i + 1]
+                    m = next_at[diff[i]] if chan[i] == c else m
+                    if m < length:
+                        ext_c[i] = prefix[m + 1] - prefix[i + 1]
+                blk.append(blk_c)
+                ext.append(ext_c)
+            self._len.append(length)
+            self._chan.append(chan)
+            self._ext.append(ext)
+            self._blk.append(blk)
+            self._switch.append(diff)
+            iidx = [0] * length
+            acc = 0
+            for i, e in enumerate(entries):
+                acc += e.gap + 1
+                iidx[i] = acc
+            self._iidx.append(iidx)
+            next_dep = [length] * (length + 1)
+            for i in range(length - 1, -1, -1):
+                next_dep[i] = i if entries[i].depends else next_dep[i + 1]
+            self._next_dep.append(next_dep)
+
+    def _horizons(self, s: List[int]) -> List[int]:
+        """Per-shard interaction horizons for one round.
+
+        ``s`` holds each shard's earliest pending event time.  For
+        every live core, lower-bound its next *external* arrival at
+        each channel (module docstring, 2) and take the per-channel
+        minimum.  A shard may process local events strictly below its
+        horizon.
+        """
+        n = len(self.shards)
+        horizons = [BLOCKED] * n
+        latency = self._min_read_latency
+        shards = self.shards
+        lengths, chans = self._len, self._chan
+        exts, blks, inflights = self._ext, self._blk, self.inflight
+        for k, core in enumerate(self.cores):
+            cur = core.trace_index
+            if cur >= lengths[k]:
+                continue
+            ready = core.next_request_time()
+            if ready < BLOCKED:
+                base = ready
+                home_idx = chans[k][cur]
+                home = shards[home_idx]
+                if home.parked_ids and k in home.parked_ids:
+                    # Parked on a full queue: the core's first access
+                    # cannot pop before the column commit that wakes it,
+                    # and every command its home channel issues this
+                    # round is at or after that channel's earliest
+                    # pending event.
+                    if s[home_idx] > base:
+                        base = s[home_idx]
+                # A ready core can *block mid-round*: after its home
+                # shard admits an access, the ROB may fill behind a
+                # read a foreign channel still holds.  The unblock is
+                # then delivered by that foreign shard -- an external
+                # arrival back at the home channel that the ext table
+                # (which only looks past the next channel switch)
+                # does not see.  It cannot land before the foreign
+                # read's data burst, i.e. before that channel's
+                # earliest pending event plus its CAS-to-data
+                # latency; nor before the core's next access could
+                # exist at all (one issue step past ``ready``).  The
+                # clamp is skipped when no block is possible before
+                # the next channel switch (_can_block_before_switch).
+                unblock = BLOCKED
+                for d, count in enumerate(inflights[k]):
+                    if count > 0 and d != home_idx:
+                        v = s[d] + latency[d]
+                        if v < unblock:
+                            unblock = v
+                if unblock < BLOCKED and \
+                        self._can_block_before_switch(k, core, cur):
+                    if unblock <= ready:
+                        unblock = ready + 1
+                    if unblock < horizons[home_idx]:
+                        horizons[home_idx] = unblock
+                tables = exts[k]
+            else:
+                # Blocked: the core resumes no earlier than the data
+                # burst of a read it still has outstanding, and its
+                # very next access is external everywhere.
+                base = BLOCKED
+                for d, count in enumerate(inflights[k]):
+                    if count > 0:
+                        v = s[d] + latency[d]
+                        if v < base:
+                            base = v
+                if base >= BLOCKED:  # pragma: no cover - defensive
+                    base = min(s)
+                tables = blks[k]
+            for c in range(n):
+                distance = tables[c][cur]
+                if distance < BLOCKED:
+                    contribution = base + distance
+                    if contribution < horizons[c]:
+                        horizons[c] = contribution
+        return horizons
+
+    def _can_block_before_switch(self, k: int, core: TraceCore,
+                                 cur: int) -> bool:
+        """Can core ``k`` block mid-round before its next channel switch?
+
+        Every entry in ``[cur, switch)`` routes to the home channel, so
+        a block in that window is the only way a *foreign* completion
+        can unblock an arrival the home shard has not yet seen.  Entry
+        ``cur`` itself is already ready, leaving ``[cur + 1, switch)``:
+
+        * the ROB barrier at entry ``j`` blocks only on an incomplete
+          read with instruction index ``<= iidx[j] - rob_size``; if the
+          oldest such read is younger than that bound at ``j = switch -
+          1`` it is younger at every earlier ``j``, and reads issued
+          during the window are home-channel (their completions are
+          delivered in-shard, in time order);
+        * a ``depends`` entry pins on the most recent prior read, which
+          may predate the window and live on a foreign channel --
+          conservatively treated as blockable.
+
+        When neither holds, the home shard needs no mid-round clamp.
+        """
+        sw = self._switch[k][cur]
+        if sw <= cur + 1:
+            return False
+        if self._next_dep[k][cur + 1] < sw:
+            return True
+        oldest = core.oldest_incomplete_read()
+        if oldest is None:  # pragma: no cover - foreign counts imply one
+            return False
+        return oldest <= self._iidx[k][sw - 1] - self._rob[k]
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, max_commands: int = 1 << 31) -> SimulationResult:
+        wall_start = time.perf_counter()
+        shards = self.shards
+        system = self.system
+        tracked = self.tracked
+        n = len(shards)
+        for core in self.cores:
+            ready = core.next_request_time()
+            if ready < BLOCKED:
+                address = core.next_request_address()
+                target = system.controller_for(address)[2]
+                tracked[core.core_id] = True
+                shards[target].heap.append((ready, core.core_id))
+        for shard in shards:
+            heapq.heapify(shard.heap)
+        total = 0
+        pool = (ThreadPoolExecutor(max_workers=n)
+                if self.backend == "threads" and n > 1 else None)
+        try:
+            while True:
+                # -- barrier: earliest pending event per shard ------------
+                s: List[int] = []
+                for shard in shards:
+                    cand = shard.refresh_peek()
+                    t = cand.issue_time if cand is not None else BLOCKED
+                    heap = shard.heap
+                    if heap and heap[0][0] < t:
+                        t = heap[0][0]
+                    s.append(t)
+                if min(s) >= BLOCKED:
+                    if all(core.done for core in self.cores):
+                        break
+                    if any(shard.parked_ids for shard in shards):
+                        raise DeadlockError(
+                            "cores parked on a full queue but no channel "
+                            "has a command pending -- lost a wake-on-room "
+                            "signal?")
+                    raise DeadlockError(
+                        "no events but cores unfinished -- lost a "
+                        "completion?")
+                # -- horizons from per-core routing lookahead -------------
+                horizons = ([BLOCKED] if n == 1 else self._horizons(s))
+                # -- run every shard with work below its horizon ----------
+                self.rounds += 1
+                remaining = max_commands - total
+                round_commits = 0
+                ran_any = False
+                if pool is not None:
+                    futures = [
+                        (pool.submit(shards[i].run, horizons[i], remaining)
+                         if s[i] < horizons[i] else None)
+                        for i in range(n)]
+                    for future in futures:
+                        if future is not None:
+                            ran_any = True
+                            round_commits += future.result()
+                else:
+                    for i in range(n):
+                        if s[i] < horizons[i] and remaining > round_commits:
+                            ran_any = True
+                            round_commits += shards[i].run(
+                                horizons[i], remaining - round_commits)
+                total += round_commits
+                if not ran_any:  # pragma: no cover - defensive
+                    raise DeadlockError(
+                        "no shard could advance below its horizon -- "
+                        "the lookahead lost the progress guarantee?")
+                # -- forward cross-channel arrivals -----------------------
+                if self.debug_trace is not None:
+                    self.debug_trace.append({
+                        "s": list(s),
+                        "horizons": list(horizons),
+                        "max_issue": [sh.round_max_issue for sh in shards],
+                        "exports": [list(sh.exports) for sh in shards],
+                    })
+                    for shard in shards:
+                        shard.round_max_issue = -1
+                for shard in shards:
+                    if shard.exports:
+                        for ready, cid, target in shard.exports:
+                            heapq.heappush(shards[target].heap,
+                                           (ready, cid))
+                        shard.exports.clear()
+                if total >= max_commands:
+                    raise CommandBudgetExceeded(
+                        f"stopped after {max_commands} commands "
+                        f"(raise max_commands to simulate further)")
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+        result = collect_result(system, self.cores)
+        result.wall_time_s = time.perf_counter() - wall_start
+        return result

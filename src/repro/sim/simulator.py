@@ -38,6 +38,7 @@ import hashlib
 import heapq
 import time
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, List, Optional, Tuple
 
 from repro.controller.controller import ChannelController, ControllerStats
@@ -67,9 +68,10 @@ class MemorySystem:
 
     #: Capacity bound on the address-route memo.  Traces with a huge
     #: address footprint (or an adversarial address stream) would
-    #: otherwise grow the memo without limit; on overflow the whole
-    #: memo is dropped (decoding is cheap to redo, and clearing keeps
-    #: the hit path a plain dict ``get`` with no bookkeeping).
+    #: otherwise grow the memo without limit; on overflow the
+    #: oldest-inserted half is evicted (dict order is insertion order),
+    #: so recently touched rows survive while the hit path stays a
+    #: plain dict ``get`` with no per-hit bookkeeping.
     ROUTE_CACHE_CAPACITY = 1 << 16
 
     def __init__(self, config: SystemConfig,
@@ -97,7 +99,8 @@ class MemorySystem:
         #: by :attr:`ROUTE_CACHE_CAPACITY`).
         self._route_cache: Dict[int, Tuple[ChannelController,
                                            "object", int]] = {}
-        #: How many times the route memo overflowed and was cleared.
+        #: How many times the route memo overflowed and evicted its
+        #: oldest half.
         self.route_cache_clears = 0
 
     @property
@@ -112,10 +115,12 @@ class MemorySystem:
             coords = self.mapping.decode(address)
             route = (self.controllers[coords.channel], coords,
                      coords.channel)
-            if len(self._route_cache) >= self.ROUTE_CACHE_CAPACITY:
-                self._route_cache.clear()
+            cache = self._route_cache
+            if len(cache) >= self.ROUTE_CACHE_CAPACITY:
+                for key in list(islice(cache, len(cache) // 2)):
+                    del cache[key]
                 self.route_cache_clears += 1
-            self._route_cache[address] = route
+            cache[address] = route
         return route
 
 
@@ -141,6 +146,11 @@ class SimulationResult:
     #: Host wall-clock seconds spent in the event loop (perf counter;
     #: like peeks/candidates_built it does not feed the digest).
     wall_time_s: float = 0.0
+    #: Address-route memo diagnostics (perf counters, not in the
+    #: digest): entries held at run end, and how many oldest-half
+    #: evictions the memo performed (``repro stats`` surfaces both).
+    route_cache_size: int = 0
+    route_cache_clears: int = 0
     #: Cycle-accounting report when the run was observed (``observe=``
     #: on :class:`MemorySystem` / :func:`run_traces`); ``None``
     #: otherwise.  Observability never feeds the digest.
@@ -402,44 +412,75 @@ class Simulator:
         return result
 
     def _result(self) -> SimulationResult:
-        stats = ControllerStats()
-        energy = EnergyMeter(self.system.config.energy)
-        causes = {cause: 0 for cause in PrechargeCause}
-        for controller in self.system.controllers:
-            controller.collect_perf_counters()
-            stats.merge(controller.stats)
-            energy.merge(controller.channel.energy)
-            for cause, n in controller.channel.precharge_causes.items():
-                causes[cause] += n
-        finish = [core.finish_time() for core in self.cores]
-        elapsed = max(finish) if finish else 0
-        return SimulationResult(
-            config_name=self.system.config.name,
-            ipcs=[core.ipc() for core in self.cores],
-            finish_times=finish,
-            stats=stats,
-            energy=energy,
-            precharge_causes=causes,
-            elapsed_ps=elapsed,
-            transactions=stats.columns,
-            accounting=collect_report(self.system.config.name,
-                                      self.system.observers, elapsed),
-            trace=self.system.trace,
-        )
+        return collect_result(self.system, self.cores)
+
+
+def collect_result(system: MemorySystem,
+                   cores: List[TraceCore]) -> SimulationResult:
+    """Aggregate a finished run into a :class:`SimulationResult`.
+
+    Shared by every execution backend (the classic loop above and the
+    sharded runners in :mod:`repro.sim.shards`): results are a pure
+    function of the post-run system and core state, so backends that
+    schedule identically aggregate identically.
+    """
+    stats = ControllerStats()
+    energy = EnergyMeter(system.config.energy)
+    causes = {cause: 0 for cause in PrechargeCause}
+    for controller in system.controllers:
+        controller.collect_perf_counters()
+        stats.merge(controller.stats)
+        energy.merge(controller.channel.energy)
+        for cause, n in controller.channel.precharge_causes.items():
+            causes[cause] += n
+    finish = [core.finish_time() for core in cores]
+    elapsed = max(finish) if finish else 0
+    return SimulationResult(
+        config_name=system.config.name,
+        ipcs=[core.ipc() for core in cores],
+        finish_times=finish,
+        stats=stats,
+        energy=energy,
+        precharge_causes=causes,
+        elapsed_ps=elapsed,
+        transactions=stats.columns,
+        route_cache_size=system.route_cache_size,
+        route_cache_clears=system.route_cache_clears,
+        accounting=collect_report(system.config.name,
+                                  system.observers, elapsed),
+        trace=system.trace,
+    )
 
 
 def run_traces(config: SystemConfig, traces, core_config=None,
-               observe=None) -> SimulationResult:
+               observe=None, shards=None) -> SimulationResult:
     """Convenience: build a system, one core per trace, and run.
 
     ``observe`` (``True`` or an
     :class:`~repro.sim.accounting.ObserveOptions`) attaches cycle
     accounting / event tracing; the result then carries
     ``result.accounting`` (and ``result.trace``).
+
+    ``shards`` picks the execution backend: ``"off"`` is the classic
+    global event loop above, ``"serial"`` / ``"threads"`` the
+    channel-sharded loop of :mod:`repro.sim.shards`.  ``None`` defers
+    to ``config.shards``, then to the module default
+    (:data:`repro.sim.shards.SHARDS_DEFAULT`).  Every backend is
+    digest-identical; only host-side performance differs.
     """
     from repro.cpu.core import CoreConfig
+    from repro.sim.shards import ShardedSimulator, resolve_shard_mode
     system = MemorySystem(config, observe=observe)
     cc = core_config or CoreConfig()
     cores = [TraceCore(trace, cc, core_id=i)
              for i, trace in enumerate(traces)]
-    return Simulator(system, cores).run()
+    mode = resolve_shard_mode(
+        shards if shards is not None else config.shards)
+    if mode == "off" or len(cores) < 2:
+        # A single core serializes every channel (each arrival's ready
+        # time depends directly on the previous pop, wherever it
+        # landed), so the sharded loop would degenerate to one event
+        # per barrier round; the classic loop is the faster identical
+        # engine for 1-core runs.
+        return Simulator(system, cores).run()
+    return ShardedSimulator(system, cores, backend=mode).run()

@@ -111,7 +111,8 @@ class TestHarness:
         # Force every oracle call to fail so the minimizer and the
         # repro printout run without needing a real scheduler bug.
         monkeypatch.setattr(
-            fuzz, "check_case", lambda case, presets=None: "forced")
+            fuzz, "check_case",
+            lambda case, presets=None, sharded=False: "forced")
         failures = fuzz.run_seeds(4, 1, out=out)
         assert failures == 1
         text = out.getvalue()

@@ -25,6 +25,10 @@ independent oracles:
    (:meth:`AccountingReport.verify`).
 4. **Observer neutrality**: the observed run's digest must equal the
    unobserved run's.
+5. **Sharded backends** (``--sharded``): the channel-sharded loop
+   (:mod:`repro.sim.shards`), serial and threaded, must reproduce the
+   reference command streams and digests bit-for-bit, pass the rule
+   checker, and keep the accounting bucket-sum invariant.
 
 On failure the case is shrunk (halve accesses, then drop cores) while
 it still fails, and a copy-pasteable repro command is printed.  Exit
@@ -140,18 +144,35 @@ def command_stream_hash(system: MemorySystem) -> str:
     return h.hexdigest()
 
 
-def _run(config, traces, incremental: bool, observe: bool):
+def _run(config, traces, incremental: bool, observe: bool,
+         shards: str = "off"):
     """One simulation; returns (result, command hash, system)."""
     system = MemorySystem(replace(config, incremental=incremental),
                           observe=observe or None)
     cores = [TraceCore(t, CoreConfig(), core_id=i)
              for i, t in enumerate(traces)]
-    result = Simulator(system, cores).run()
+    if shards == "off":
+        result = Simulator(system, cores).run()
+    else:
+        from repro.sim.shards import ShardedSimulator
+        result = ShardedSimulator(system, cores, backend=shards).run()
     return result, command_stream_hash(system), system
 
 
-def check_case(case: Case, presets: Optional[List] = None
-               ) -> Optional[str]:
+def _validate(system) -> Optional[str]:
+    """The independent rule checker over every channel's command log."""
+    for controller in system.controllers:
+        channel = controller.channel
+        try:
+            validate_log(channel.command_log, channel.timing,
+                         channel.resources.policy)
+        except TimingViolation as exc:
+            return f"rule checker: {exc}"
+    return None
+
+
+def check_case(case: Case, presets: Optional[List] = None,
+               sharded: bool = False) -> Optional[str]:
     """Run all oracles on one case; returns a failure message or None."""
     config = build_config(case, presets)
     traces = build_traces(case)
@@ -164,17 +185,34 @@ def check_case(case: Case, presets: Optional[List] = None
     if inc.digest() != ref.digest():
         return ("incremental/reference digests diverge "
                 "(or the observer changed behaviour)")
-    for controller in inc_system.controllers:
-        channel = controller.channel
-        try:
-            validate_log(channel.command_log, channel.timing,
-                         channel.resources.policy)
-        except TimingViolation as exc:
-            return f"rule checker: {exc}"
+    message = _validate(inc_system)
+    if message is not None:
+        return message
     try:
         inc.accounting.verify()
     except AssertionError as exc:
         return f"accounting invariant: {exc}"
+    if sharded:
+        # The sharded loop is driven directly (not via run_traces) so
+        # 1-core cases exercise the shard protocol too instead of the
+        # classic-loop fast path.
+        for backend in ("serial", "threads"):
+            res, res_hash, res_system = _run(
+                config, traces, incremental=True, observe=True,
+                shards=backend)
+            if res_hash != ref_hash:
+                return (f"sharded-{backend}/reference command streams "
+                        f"diverge")
+            if res.digest() != ref.digest():
+                return f"sharded-{backend}/reference digests diverge"
+            message = _validate(res_system)
+            if message is not None:
+                return f"sharded-{backend} {message}"
+            try:
+                res.accounting.verify()
+            except AssertionError as exc:
+                return (f"sharded-{backend} accounting invariant: "
+                        f"{exc}")
     return None
 
 
@@ -202,13 +240,14 @@ def minimize(case: Case,
 def run_seeds(start: int, count: int, presets: Optional[List] = None,
               cores: Optional[int] = None,
               accesses: Optional[int] = None,
+              sharded: bool = False,
               out=sys.stdout) -> int:
     """Fuzz ``count`` seeds from ``start``; returns the failure count."""
     presets = presets if presets is not None else cfgs.all_presets()
     failures = 0
     for seed in range(start, start + count):
         case = draw_case(seed, presets, cores=cores, accesses=accesses)
-        message = check_case(case, presets)
+        message = check_case(case, presets, sharded=sharded)
         if message is None:
             print(f"seed {seed:4d} ok    {case.config_name:24s} "
                   f"cores={case.cores} accesses={case.accesses}",
@@ -217,7 +256,8 @@ def run_seeds(start: int, count: int, presets: Optional[List] = None,
         failures += 1
         print(f"seed {seed:4d} FAIL  {case.config_name}: {message}",
               file=out)
-        small = minimize(case, lambda c: check_case(c, presets))
+        small = minimize(
+            case, lambda c: check_case(c, presets, sharded=sharded))
         print(f"  minimized to cores={small.cores} "
               f"accesses={small.accesses}; reproduce with:", file=out)
         print(f"  {small.repro_command()}", file=out)
@@ -237,6 +277,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="override the drawn core count")
     parser.add_argument("--accesses", type=int, default=None,
                         help="override the drawn access count")
+    parser.add_argument("--sharded", action="store_true",
+                        help="also run the channel-sharded backends "
+                             "(serial and threads) against every case "
+                             "and hold them to the reference command "
+                             "stream, digest, rule checker, and "
+                             "accounting invariant")
     args = parser.parse_args(argv)
     presets = cfgs.all_presets()
     if args.config is not None:
@@ -245,7 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(f"unknown config {args.config!r}; known: "
                          + ", ".join(p.name for p in cfgs.all_presets()))
     failures = run_seeds(args.start, args.seeds, presets,
-                         cores=args.cores, accesses=args.accesses)
+                         cores=args.cores, accesses=args.accesses,
+                         sharded=args.sharded)
     if failures:
         print(f"{failures} of {args.seeds} seeds failed")
         return 1
