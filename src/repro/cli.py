@@ -8,6 +8,7 @@
     python -m repro fig14 --accesses 1000
     python -m repro fig11
     python -m repro fig4 --accesses 3000
+    python -m repro figref --mixes mix0,mix3     # refresh policy sweep
     python -m repro run --config vsb --mix mix0
     python -m repro stats --config vsb --mix mix0 --per-bank
     python -m repro trace --config vsb --mix mix0 --limit 50
@@ -30,6 +31,7 @@ from typing import List, Optional
 from repro.core.mechanisms import EruConfig
 from repro.sim import config as cfgs
 from repro.sim.experiments import (
+    REFRESH_SWEEP_DENSITIES,
     ExperimentContext,
     ExperimentSettings,
     emit_stats_sidecars,
@@ -38,6 +40,7 @@ from repro.sim.experiments import (
     fig14,
     fig15,
     fig16,
+    fig_refresh,
 )
 from repro.workloads.mixes import MIX_NAMES
 
@@ -85,15 +88,28 @@ def _emit_sidecars(context: ExperimentContext, args,
         print(f"wrote {path}")
 
 
+def _cell_config(args):
+    """The selected preset, with the refresh knobs applied if given."""
+    import dataclasses
+    factory = CONFIG_FACTORIES.get(args.config)
+    if factory is None:
+        raise SystemExit(f"unknown config {args.config!r}; see 'list'")
+    config = factory()
+    density = getattr(args, "refresh", None)
+    if density is not None:
+        policy = getattr(args, "refresh_policy", "baseline")
+        config = dataclasses.replace(
+            config, refresh_density=density, refresh_policy=policy,
+            name=f"{config.name}+ref-{policy}-{density}")
+    return config
+
+
 def _observed_run(args, trace: bool = False, trace_limit=None):
     """Run one (config, mix) cell with the observability layer on."""
     from repro.sim.accounting import ObserveOptions
     from repro.sim.simulator import run_traces
     from repro.workloads.mixes import mix_traces
-    factory = CONFIG_FACTORIES.get(args.config)
-    if factory is None:
-        raise SystemExit(f"unknown config {args.config!r}; see 'list'")
-    config = factory()
+    config = _cell_config(args)
     traces = mix_traces(args.mix, args.accesses,
                         fragmentation=args.fragmentation, seed=args.seed)
     observe = ObserveOptions(trace=trace, trace_limit=trace_limit)
@@ -105,7 +121,8 @@ def cmd_list(args) -> None:
     for name in CONFIG_FACTORIES:
         print(f"  {name:14s} -> {CONFIG_FACTORIES[name]().name}")
     print("mixes:", ", ".join(MIX_NAMES))
-    print("experiments: fig4 fig11 fig12 fig13 fig14 fig15 fig16")
+    print("experiments: fig4 fig11 fig12 fig13 fig14 fig15 fig16 "
+          "figref")
     print("observability: stats trace profile "
           "(and --emit-stats on figures)")
 
@@ -113,10 +130,7 @@ def cmd_list(args) -> None:
 def cmd_run(args) -> None:
     from repro.sim.simulator import run_traces
     from repro.workloads.mixes import mix_traces
-    factory = CONFIG_FACTORIES.get(args.config)
-    if factory is None:
-        raise SystemExit(f"unknown config {args.config!r}; see 'list'")
-    config = factory()
+    config = _cell_config(args)
     traces = mix_traces(args.mix, args.accesses,
                         fragmentation=args.fragmentation, seed=args.seed)
     result = run_traces(config, traces)
@@ -180,12 +194,10 @@ def cmd_trace(args) -> None:
 def cmd_profile(args) -> None:
     """``repro profile``: cProfile one (config, mix) cell."""
     from repro.sim.profiling import profile_run
-    factory = CONFIG_FACTORIES.get(args.config)
-    if factory is None:
-        raise SystemExit(f"unknown config {args.config!r}; see 'list'")
     incremental = {"incremental": True, "reference": False,
                    "config": None}[args.path]
-    report = profile_run(factory(), args.mix, accesses=args.accesses,
+    report = profile_run(_cell_config(args), args.mix,
+                         accesses=args.accesses,
                          fragmentation=args.fragmentation,
                          seed=args.seed, incremental=incremental)
     print(report.format_table(limit=args.limit, sort=args.sort), end="")
@@ -275,6 +287,24 @@ def cmd_fig16(args) -> None:
     _emit_sidecars(context, args, prefix="fig16__")
 
 
+def cmd_figref(args) -> None:
+    """``repro figref``: refresh policy x density sweep (docs/REFRESH.md)."""
+    context = _context(args)
+    points = fig_refresh(context)
+    policies = []
+    for p in points:
+        if p.policy not in policies:
+            policies.append(p.policy)
+    by_key = {(p.policy, p.density): p for p in points}
+    print(f"{'policy':10s} " + " ".join(
+        f"{d:>8s}" for d in REFRESH_SWEEP_DENSITIES))
+    for policy in policies:
+        print(f"{policy:10s} " + "    ".join(
+            f"{by_key[(policy, d)].normalized_ws:5.3f}"
+            for d in REFRESH_SWEEP_DENSITIES))
+    _emit_sidecars(context, args, prefix="figref__")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -304,9 +334,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     def cell(p):
         """--config/--mix selectors shared by run/stats/trace."""
+        from repro.controller.scheduler import REFRESH_POLICIES
+        from repro.dram.timing import REFRESH_DENSITY_GRADES_NS
         p.add_argument("--config", default="vsb",
                        choices=sorted(CONFIG_FACTORIES))
         p.add_argument("--mix", default="mix0", choices=MIX_NAMES)
+        p.add_argument("--refresh", metavar="DENSITY", default=None,
+                       choices=sorted(REFRESH_DENSITY_GRADES_NS),
+                       help="enable DRAM refresh at this density grade "
+                            "(e.g. 8Gb; default: refresh off, matching "
+                            "the presets)")
+        p.add_argument("--refresh-policy", default="baseline",
+                       choices=REFRESH_POLICIES,
+                       help="refresh scheduling policy when --refresh "
+                            "is given (see docs/REFRESH.md)")
         return p
 
     run = cell(common(sub.add_parser(
@@ -367,7 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
             ("fig4", cmd_fig4, False), ("fig11", cmd_fig11, False),
             ("fig12", cmd_fig12, True), ("fig13", cmd_fig13, True),
             ("fig14", cmd_fig14, True), ("fig15", cmd_fig15, True),
-            ("fig16", cmd_fig16, True)):
+            ("fig16", cmd_fig16, True), ("figref", cmd_figref, True)):
         p = sub.add_parser(name, help=f"regenerate {name}")
         if name != "fig11":
             common(p)

@@ -29,6 +29,11 @@ class ControllerStats:
     ewlr_hits: int = 0
     columns: int = 0
     precharges: int = 0
+    #: REF/REFpb commands issued (always zero with refresh disabled).
+    #: Deliberately not part of the digest -- the digest already pins
+    #: refresh behaviour through finish times, latencies and the
+    #: precharge-cause split.
+    refreshes: int = 0
     #: Read queueing latencies (arrival -> data end), ps. Fig. 16a.
     #: Counter-backed: memory stays O(unique latencies) however long
     #: the run; iteration yields the exact sorted expansion.
@@ -52,6 +57,7 @@ class ControllerStats:
         self.ewlr_hits += other.ewlr_hits
         self.columns += other.columns
         self.precharges += other.precharges
+        self.refreshes += other.refreshes
         self.read_latencies.merge(other.read_latencies)
         self.peeks += other.peeks
         self.candidates_built += other.candidates_built
@@ -71,11 +77,12 @@ class ChannelController:
     def __init__(self, channel: Channel,
                  queue_config: QueueConfig = QueueConfig(),
                  idle_close_ps=None, observer=None,
-                 incremental=None) -> None:
+                 incremental=None, refresh_policy=None) -> None:
         self.channel = channel
         self.queues = TransactionQueues(queue_config)
         self.scheduler = Scheduler(channel, self.queues, idle_close_ps,
-                                   incremental=incremental)
+                                   incremental=incremental,
+                                   refresh_policy=refresh_policy)
         self.stats = ControllerStats()
         self.observer = observer
         #: Optional retire hook: called with each transaction the moment
@@ -92,13 +99,37 @@ class ChannelController:
 
     def enqueue(self, txn: Transaction, time: int) -> None:
         obs = self.observer
-        if obs is not None and not self.queues.pending():
-            obs.note_nonempty(time)
+        if not self.queues.pending():
+            refresh = self.scheduler.refresh
+            if refresh is not None:
+                # Settle refreshes owed across the idle span before this
+                # arrival (the scheduler proposes no refresh candidates
+                # while the queues are empty, so runs terminate).
+                closes, refreshes = refresh.catch_up(
+                    time, self.scheduler.note_bank_change)
+                self.stats.commands_issued += closes + refreshes
+                self.stats.precharges += closes
+                self.stats.refreshes += refreshes
+            if obs is not None:
+                obs.note_nonempty(time)
         self.queues.enqueue(txn, time)
         self.scheduler.note_enqueue(txn)
 
     def pending(self) -> bool:
         return self.queues.pending()
+
+    def refresh_horizon(self) -> Optional[int]:
+        """Run-ahead bound from the pending refresh deadline, if any.
+
+        ``None`` with refresh disabled or while the queues are empty
+        (owed refreshes are then settled by the idle catch-up at the
+        next admission, so there is no deadline to run into).  The
+        sharded loop clamps a shard's horizon to this bound.
+        """
+        refresh = self.scheduler.refresh
+        if refresh is None or not self.queues.pending():
+            return None
+        return refresh.forced_horizon()
 
     # -- scheduling ----------------------------------------------------------
 
@@ -135,6 +166,21 @@ class ChannelController:
             if obs is not None:
                 obs.on_command(candidate, floors, ewlr_hit=False,
                                partial=partial,
+                               queue_empty_after=not self.queues.pending())
+            return []
+        if candidate.kind.is_refresh:
+            bank_index, slot = candidate.victim
+            self.channel.issue_refresh(time, bank_index, slot[0])
+            if bank_index < 0:
+                for bi in range(len(self.channel.banks)):
+                    self.scheduler.note_bank_change(bi)
+            else:
+                self.scheduler.note_bank_change(bank_index)
+            self.scheduler.refresh.note_refresh(candidate)
+            self.stats.refreshes += 1
+            if obs is not None:
+                obs.on_command(candidate, floors, ewlr_hit=False,
+                               partial=False,
                                queue_empty_after=not self.queues.pending())
             return []
         c = txn.coords

@@ -74,6 +74,10 @@ PRIO_COLUMN = 0
 PRIO_ACT = 1
 PRIO_PRE = 2
 PRIO_POLICY = 3
+#: Refresh-chain commands (scope closes and REF/REFpb) rank below every
+#: demand class: on an exact issue-time tie the demand command wins and
+#: the refresh retries at the next peek.
+PRIO_REFRESH = 4
 
 #: Arrival stamp for candidates that serve no transaction (policy closes).
 _NO_ARRIVAL = 1 << 62
@@ -235,6 +239,231 @@ AuxTables = Tuple[Optional[SelectionTable],
                   Optional[SelectionTable]]
 
 
+#: The schedulable refresh policies (``SystemConfig.refresh_policy``).
+REFRESH_POLICIES = ("baseline", "darp", "sarp")
+
+
+class RefreshScheduler:
+    """Deadline tracking and candidate generation for DRAM refresh.
+
+    One refresh *scope* is the unit a single REF/REFpb command covers:
+    the whole rank (``baseline``), one bank (``darp``), or one sub-bank
+    (``sarp``, degrading to per-bank on flat-bank geometries).  One
+    refresh is owed per ``period = tREFI / len(scopes)`` elapsed, so
+    every policy retires the same rank-wide refresh bandwidth; JEDEC's
+    eight-deferral allowance becomes ``defer_slack = 8 * period`` of
+    schedule slip before a refresh is forced over pending demand.
+
+    The three policies differ only in *when* a scope refreshes:
+
+    * ``baseline`` -- on-deadline all-bank REF: demand issues while it
+      beats the deadline, then the rank closes and refreshes.
+    * ``darp`` -- deferred per-bank REFpb, out of order: banks with no
+      pending demand refresh early (up to 8 periods pulled in), busy
+      banks defer until forced.
+    * ``sarp`` -- like ``darp`` at sub-bank granularity: one sub-bank
+      refreshes (half a ``tRFCpb`` -- half the rows) while its partner
+      keeps serving hits through ERUCA's partial-precharge machinery.
+
+    Backend safety: refresh candidates exist only while the demand
+    queues are non-empty, and the demand-vs-refresh decision compares
+    ``demand.issue_time`` (already ``max(now, ...)``-clamped the same
+    way in every backend) against channel-state constants (``ref_due``
+    and offsets of it) -- never raw ``now`` -- so all four execution
+    backends pick identical winners.  While the queues are empty the
+    controller settles owed refreshes in one idle catch-up at the next
+    admission (:meth:`catch_up`), which keeps run termination trivially
+    intact: a drained simulation proposes no further events.
+    """
+
+    def __init__(self, channel: Channel, queues: TransactionQueues,
+                 policy: str) -> None:
+        if policy not in REFRESH_POLICIES:
+            raise ValueError(
+                f"unknown refresh policy {policy!r}; known: "
+                + ", ".join(REFRESH_POLICIES))
+        self.channel = channel
+        self.queues = queues
+        self.policy = policy
+        banks = len(channel.banks)
+        subbanks = channel.banks[0].geometry.subbanks
+        if policy == "baseline":
+            scopes = [(-1, -1)]
+        elif policy == "darp" or subbanks == 1:
+            scopes = [(b, -1) for b in range(banks)]
+        else:
+            scopes = [(b, s) for b in range(banks)
+                      for s in range(subbanks)]
+        #: Scope rotation order of one tREFI round, (bank, sub-bank)
+        #: with -1 as "all" wildcards.
+        self.scopes = scopes
+        self.period = max(1, channel.timing.tREFI // len(scopes))
+        self.defer_slack = 8 * self.period
+        #: Scopes still owed a refresh this round, deadline order.
+        self.rotation = list(scopes)
+        channel.resources.init_refresh_schedule(self.period)
+        #: Memoised (bank, sub-bank) pairs with schedulable demand;
+        #: ``None`` = stale (queue membership changed since computed).
+        self._busy: Optional[Set[Tuple[int, int]]] = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _busy_pairs(self) -> Set[Tuple[int, int]]:
+        busy = self._busy
+        if busy is None:
+            busy = {(txn.bank_index, txn.coords.subbank)
+                    for txn in self.queues.schedulable()}
+            self._busy = busy
+        return busy
+
+    def _scope_idle(self, scope: Tuple[int, int],
+                    busy: Set[Tuple[int, int]]) -> bool:
+        bank_index, subbank = scope
+        if subbank >= 0:
+            return (bank_index, subbank) not in busy
+        return not any(b == bank_index for b, _ in busy)
+
+    def _chain(self, now: int, scope: Tuple[int, int],
+               clamp: int) -> Candidate:
+        """Next step of refreshing ``scope``: close its first open slot,
+        or the REF/REFpb itself once the scope is fully precharged.
+
+        ``clamp`` is the earliest the policy may act (the deadline for
+        baseline, the 8-period pull-in bound for darp/sarp).
+        """
+        bank_index, subbank = scope
+        channel = self.channel
+        open_slots = channel.refresh_scope_open(bank_index, subbank)
+        if open_slots:
+            bi, key = open_slots[0]
+            t = channel.earliest_precharge(bi, key)
+            if t < clamp:
+                t = clamp
+            if t < now:
+                t = now
+            return Candidate(t, PRIO_REFRESH, None, CommandKind.PRE,
+                             victim=(bi, key),
+                             cause=PrechargeCause.REFRESH,
+                             seq=_policy_seq(bi, key))
+        t = channel.earliest_refresh(bank_index, subbank)
+        if t < clamp:
+            t = clamp
+        if t < now:
+            t = now
+        kind = CommandKind.REF if bank_index < 0 else CommandKind.REFPB
+        return Candidate(t, PRIO_REFRESH, None, kind,
+                         victim=(bank_index, (subbank, -1)))
+
+    def _opportunistic(self, now: int) -> Optional[Candidate]:
+        """DARP/SARP pull-in: refresh the oldest-owed scope that has no
+        pending demand and no open rows (no closes ever race demand)."""
+        busy = self._busy_pairs()
+        channel = self.channel
+        clamp = channel.resources.ref_due - self.defer_slack
+        for scope in self.rotation:
+            if not self._scope_idle(scope, busy):
+                continue
+            bank_index, subbank = scope
+            if channel.refresh_scope_open(bank_index, subbank):
+                continue
+            t = channel.earliest_refresh(bank_index, subbank)
+            if t < clamp:
+                t = clamp
+            if t < now:
+                t = now
+            kind = (CommandKind.REF if bank_index < 0
+                    else CommandKind.REFPB)
+            return Candidate(t, PRIO_REFRESH, None, kind,
+                             victim=(bank_index, (subbank, -1)))
+        return None
+
+    # -- scheduler-facing --------------------------------------------------
+
+    def arbitrate(self, now: int,
+                  demand: Optional[Candidate]) -> Optional[Candidate]:
+        """Pick between the demand winner and the refresh machine.
+
+        Called once per peek while the queues are non-empty.
+        """
+        due = self.channel.resources.ref_due
+        if self.policy == "baseline":
+            if demand is not None and demand.issue_time < due:
+                return demand
+            return self._chain(now, self.rotation[0], due)
+        forced_at = due + self.defer_slack
+        if demand is None or demand.issue_time >= forced_at:
+            # Out of slack: the oldest owed scope refreshes now, closing
+            # rows over demand if it must.
+            return self._chain(now, self.rotation[0], due - self.defer_slack)
+        cand = self._opportunistic(now)
+        if cand is not None and (cand.issue_time, cand.priority) < \
+                (demand.issue_time, demand.priority):
+            return cand
+        return demand
+
+    def note_refresh(self, candidate: Candidate) -> None:
+        """A REF/REFpb committed: retire one owed period and advance the
+        scope rotation."""
+        self.channel.resources.retire_refresh()
+        bank_index, slot = candidate.victim
+        scope = (bank_index, slot[0])
+        try:
+            self.rotation.remove(scope)
+        except ValueError:
+            pass
+        if not self.rotation:
+            self.rotation = list(self.scopes)
+
+    def catch_up(self, time: int, note_bank_change) -> Tuple[int, int]:
+        """Settle refreshes owed across an idle span, at admission time.
+
+        While the queues are empty the scheduler proposes no refresh
+        candidates (so drained runs terminate); a controller with no
+        demand would in reality keep refreshing on schedule.  When a
+        transaction arrives at ``time`` with refreshes owed, this
+        replays that schedule: close any open rows (idle-close may have
+        beaten us to it), then issue on-deadline all-bank REFs until
+        the deadline passes ``time``.  Each all-bank REF covers a whole
+        rotation round, so it retires ``len(scopes)`` owed periods.
+
+        Returns ``(closes, refreshes)`` issued so the controller can
+        count them; the commands enter the device log (the validator
+        sees them) but bypass the accounting observer -- the span they
+        occupy is queue-empty time by construction.
+        """
+        resources = self.channel.resources
+        if resources.ref_due > time:
+            return 0, 0
+        channel = self.channel
+        closes = refreshes = 0
+        for bi, key in channel.refresh_scope_open():
+            channel.issue_precharge(bi, key,
+                                    channel.earliest_precharge(bi, key),
+                                    PrechargeCause.REFRESH)
+            note_bank_change(bi)
+            closes += 1
+        banks = range(len(channel.banks))
+        while resources.ref_due <= time:
+            t = channel.earliest_refresh()
+            if t < resources.ref_due:
+                t = resources.ref_due
+            channel.issue_refresh(t)
+            resources.ref_due += resources.ref_period * len(self.scopes)
+            refreshes += 1
+            for bi in banks:
+                note_bank_change(bi)
+        self.rotation = list(self.scopes)
+        return closes, refreshes
+
+    def forced_horizon(self) -> int:
+        """Latest instant this channel can run ahead to without missing
+        a forced refresh (the sharded loop's run-ahead bound)."""
+        due = self.channel.resources.ref_due
+        if self.policy == "baseline":
+            return due
+        return due + self.defer_slack
+
+
 class Scheduler:
     """Candidate generation and FR-FCFS selection for one channel.
 
@@ -253,12 +482,19 @@ class Scheduler:
 
     def __init__(self, channel: Channel, queues: TransactionQueues,
                  idle_close_ps: Optional[int] = None,
-                 incremental: Optional[bool] = None) -> None:
+                 incremental: Optional[bool] = None,
+                 refresh_policy: Optional[str] = None) -> None:
         self.channel = channel
         self.queues = queues
         self.idle_close_ps = idle_close_ps
         self.incremental = INCREMENTAL_DEFAULT if incremental is None \
             else incremental
+        #: The refresh machine, or ``None`` when the timing preset has
+        #: refresh disabled (the historical machine: zero overhead, and
+        #: schedules stay bit-identical to pre-refresh builds).
+        self.refresh: Optional[RefreshScheduler] = (
+            RefreshScheduler(channel, queues, refresh_policy or "baseline")
+            if channel.timing.refresh_enabled else None)
         #: Perf counters (copied into ControllerStats once, at result
         #: collection -- :meth:`ChannelController.collect_perf_counters`).
         self.peeks = 0
@@ -327,6 +563,8 @@ class Scheduler:
             txn.seq = self._seq
             self._seq += 1
         self._queues_changed = True
+        if self.refresh is not None:
+            self.refresh._busy = None
         # Only fold it into the membership if it joins the queue the
         # current candidate set was built from; otherwise the source
         # check in best() picks it up on the next drain-mode flip.
@@ -337,6 +575,8 @@ class Scheduler:
     def note_remove(self, txn: Transaction) -> None:
         """A column command retired ``txn``; drop it from its bank."""
         self._queues_changed = True
+        if self.refresh is not None:
+            self.refresh._busy = None
         txns = self._bank_txns.get(txn.bank_index)
         if txns is not None:
             try:
@@ -473,9 +713,14 @@ class Scheduler:
         Issue times stored here exclude the channel-resource floor and
         the ``now`` clamp -- both are re-applied at selection, so a
         cached candidate never goes stale from *other* banks' traffic.
+        A refresh blackout over this bank *is* folded in: it is
+        bank-local state that only moves when a refresh commits, which
+        dirties every bank in scope (so the fold can never go stale).
         """
         bank = self.channel.banks[bank_index]
         slots = bank.slots
+        ru = self.channel.resources.ref_until
+        rb = ru[bank_index] if ru is not None else None
         txns = self._bank_txns.get(bank_index, ())
         if self.idle_close_ps is None and len(txns) <= 1:
             # Most rebuilds see zero or one transaction (the committed
@@ -498,9 +743,11 @@ class Scheduler:
             active = slots[txn.slot].active_row
             self.candidates_built += 1
             if active == c.row:  # ROW_HIT
+                t = bank.earliest_column(c.subbank, c.row)
+                if rb is not None and rb[c.subbank] > t:
+                    t = rb[c.subbank]
                 table = SelectionTable(
-                    [(bank.earliest_column(c.subbank, c.row),
-                      txn.arrival_time, txn.seq, txn)])
+                    [(t, txn.arrival_time, txn.seq, txn)])
                 self._col_tables[bank_index] = (
                     table, (not txn.is_read, c.bank_group, bank_index))
                 self._aux_tables.pop(bank_index, None)
@@ -520,14 +767,18 @@ class Scheduler:
                          else PrechargeCause.ROW_CONFLICT)
             if verdict in (ActivationVerdict.ACT_OK,
                            ActivationVerdict.EWLR_HIT):
+                t = bank.earliest_act(c.subbank, c.row)
+                if rb is not None and rb[c.subbank] > t:
+                    t = rb[c.subbank]
                 table = SelectionTable(
-                    [(bank.earliest_act(c.subbank, c.row),
-                      txn.arrival_time, txn.seq, txn)])
+                    [(t, txn.arrival_time, txn.seq, txn)])
                 self._aux_tables[bank_index] = (table, None, None)
             else:
+                t = bank.earliest_precharge(victim_slot)
+                if rb is not None and rb[victim_slot[0]] > t:
+                    t = rb[victim_slot[0]]
                 table = SelectionTable(
-                    [(bank.earliest_precharge(victim_slot),
-                      txn.arrival_time, txn.seq, txn,
+                    [(t, txn.arrival_time, txn.seq, txn,
                       (bank_index, victim_slot), cause)])
                 self._aux_tables[bank_index] = (None, table, None)
             return
@@ -552,6 +803,8 @@ class Scheduler:
                     continue  # a pending request still wants this row
                 t = max(slot.last_use + self.idle_close_ps,
                         bank.earliest_precharge(key))
+                if rb is not None and rb[key[0]] > t:
+                    t = rb[key[0]]
                 policies.append((t, _NO_ARRIVAL,
                                  _policy_seq(bank_index, key), loc))
         cols: List[tuple] = []
@@ -576,15 +829,19 @@ class Scheduler:
                 # The drain mode fixes the direction and the bank fixes
                 # (group, index), so col_args is one value per table.
                 col_args = (not txn.is_read, c.bank_group, bank_index)
-                cols.append((bank.earliest_column(c.subbank, c.row),
-                             txn.arrival_time, txn.seq, txn))
+                t = bank.earliest_column(c.subbank, c.row)
+                if rb is not None and rb[c.subbank] > t:
+                    t = rb[c.subbank]
+                cols.append((t, txn.arrival_time, txn.seq, txn))
             elif verdict in (ActivationVerdict.ACT_OK,
                              ActivationVerdict.EWLR_HIT):
                 if txn.slot in seen_acts:
                     continue  # one ACT proposal per target slot
                 seen_acts.add(txn.slot)
-                acts.append((bank.earliest_act(c.subbank, c.row),
-                             txn.arrival_time, txn.seq, txn))
+                t = bank.earliest_act(c.subbank, c.row)
+                if rb is not None and rb[c.subbank] > t:
+                    t = rb[c.subbank]
+                acts.append((t, txn.arrival_time, txn.seq, txn))
             else:
                 loc = (bank_index, victim_slot)
                 if (hits is not None and loc in hits
@@ -596,8 +853,11 @@ class Scheduler:
                 cause = (PrechargeCause.PLANE_CONFLICT
                          if verdict is ActivationVerdict.PLANE_CONFLICT
                          else PrechargeCause.ROW_CONFLICT)
-                pres.append((bank.earliest_precharge(victim_slot),
-                             txn.arrival_time, txn.seq, txn, loc, cause))
+                t = bank.earliest_precharge(victim_slot)
+                if rb is not None and rb[victim_slot[0]] > t:
+                    t = rb[victim_slot[0]]
+                pres.append((t, txn.arrival_time, txn.seq, txn, loc,
+                             cause))
         self.candidates_built += (len(cols) + len(acts) + len(pres)
                                   + len(policies))
         if cols:
@@ -757,9 +1017,16 @@ class Scheduler:
     def best(self, now: int) -> Optional[Candidate]:
         self.peeks += 1
         if self.incremental:
-            return self._best_incremental(now)
-        cands = self.candidates(now)
-        self.candidates_examined += len(cands)
-        if not cands:
-            return None
-        return min(cands, key=Candidate.sort_key)
+            demand = self._best_incremental(now)
+        else:
+            cands = self.candidates(now)
+            self.candidates_examined += len(cands)
+            demand = (min(cands, key=Candidate.sort_key)
+                      if cands else None)
+        refresh = self.refresh
+        if refresh is not None and self.queues.pending():
+            # Refresh arbitration is computed fresh per peek *after*
+            # demand selection and is shared verbatim by both selection
+            # paths, so path equivalence is unaffected.
+            return refresh.arbitrate(now, demand)
+        return demand

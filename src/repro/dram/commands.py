@@ -22,6 +22,11 @@ class CommandKind(enum.Enum):
     PRE = "precharge"
     #: ERUCA partial precharge: close one sub-bank, keep the shared MWL up.
     PRE_PARTIAL = "partial_precharge"
+    #: All-bank refresh: the whole rank is busy for tRFC.
+    REF = "refresh"
+    #: Per-bank refresh: one bank (or, under SARP, one sub-bank) is busy
+    #: for tRFCpb while the rest of the rank keeps serving.
+    REFPB = "refresh_per_bank"
 
     @property
     def is_column(self) -> bool:
@@ -32,6 +37,11 @@ class CommandKind(enum.Enum):
     def is_precharge(self) -> bool:
         """Both full and ERUCA partial precharges close a row slot."""
         return self in (CommandKind.PRE, CommandKind.PRE_PARTIAL)
+
+    @property
+    def is_refresh(self) -> bool:
+        """Refresh commands (all-bank or per-bank)."""
+        return self in (CommandKind.REF, CommandKind.REFPB)
 
 
 class PrechargeCause(enum.Enum):
@@ -44,6 +54,9 @@ class PrechargeCause(enum.Enum):
     ROW_CONFLICT = "row_conflict"
     PLANE_CONFLICT = "plane_conflict"
     POLICY = "page_policy"
+    #: Closed to make a (sub-)bank refreshable: refresh requires every
+    #: slot in its scope precharged first.
+    REFRESH = "refresh"
 
 
 @dataclass

@@ -20,7 +20,8 @@ from repro.core.subbank import ActivationVerdict
 from repro.dram.bank import Bank, BankGeometry, SlotKey
 from repro.dram.commands import PrechargeCause
 from repro.dram.power import EnergyMeter, EnergyParams
-from repro.dram.resources import FLOOR_BANK, BusPolicy, ChannelResources
+from repro.dram.resources import (FLOOR_BANK, FLOOR_BUS, FLOOR_REFRESH,
+                                  BusPolicy, ChannelResources)
 from repro.dram.timing import TimingParams
 
 
@@ -77,26 +78,110 @@ class Channel:
     # -- earliest legal issue times ---------------------------------------
 
     def earliest_act(self, coords: DramCoordinates) -> int:
-        """Earliest legal ACT: command bus, ``tRRD``, and the slot FSM."""
+        """Earliest legal ACT: command bus, ``tRRD``, the slot FSM, and
+        any refresh blackout covering the slot's sub-bank."""
         bank = self.bank(coords)
-        return max(self.resources.earliest_act(),
+        best = max(self.resources.earliest_act(),
                    bank.earliest_act(coords.subbank, coords.row))
+        ru = self.resources.ref_until
+        if ru is not None:
+            v = ru[self.bank_index(coords)][coords.subbank]
+            if v > best:
+                best = v
+        return best
 
     def earliest_column(self, coords: DramCoordinates,
                         is_write: bool) -> int:
         """Earliest legal RD/WR: shared CAS/bus windows + ``tRCD``."""
         bank = self.bank(coords)
-        return max(
+        bank_index = self.bank_index(coords)
+        best = max(
             self.resources.earliest_column(
-                is_write, coords.bank_group, self.bank_index(coords)),
+                is_write, coords.bank_group, bank_index),
             bank.earliest_column(coords.subbank, coords.row),
         )
+        ru = self.resources.ref_until
+        if ru is not None:
+            v = ru[bank_index][coords.subbank]
+            if v > best:
+                best = v
+        return best
 
     def earliest_precharge(self, bank_index: int, slot: SlotKey) -> int:
         """Earliest legal PRE: command bus + the slot's ``tRAS``/``tWR``
         horizons."""
-        return max(self.resources.earliest_precharge(),
+        best = max(self.resources.earliest_precharge(),
                    self.banks[bank_index].earliest_precharge(slot))
+        ru = self.resources.ref_until
+        if ru is not None:
+            v = ru[bank_index][slot[0]]
+            if v > best:
+                best = v
+        return best
+
+    # -- refresh ----------------------------------------------------------
+
+    def refresh_scope_open(self, bank_index: int = -1,
+                           subbank: int = -1) -> list:
+        """Open slots inside a refresh scope, as (bank index, slot key).
+
+        ``bank_index < 0`` scopes the whole rank (all-bank REF);
+        ``subbank >= 0`` narrows a bank to one sub-bank (SARP).  A
+        refresh may only issue once this list is empty.
+        """
+        out = []
+        indices = (range(len(self.banks)) if bank_index < 0
+                   else (bank_index,))
+        for bi in indices:
+            for key, slot in self.banks[bi].slots.items():
+                if subbank >= 0 and key[0] != subbank:
+                    continue
+                if slot.active_row is not None:
+                    out.append((bi, key))
+        return out
+
+    def refresh_duration(self, bank_index: int = -1,
+                         subbank: int = -1) -> int:
+        """Blackout length of a refresh to this scope: ``tRFC`` all-bank,
+        ``tRFCpb`` per-bank, and half of ``tRFCpb`` for one sub-bank
+        (half the rows are walked)."""
+        t = self.timing
+        if bank_index < 0:
+            return t.tRFC
+        if subbank < 0:
+            return t.trfc_pb
+        return (t.trfc_pb + 1) // 2
+
+    def earliest_refresh(self, bank_index: int = -1,
+                         subbank: int = -1) -> int:
+        """Earliest legal REF/REFpb to a fully precharged scope: command
+        bus, ``tRP``/``tRC`` from every slot in scope, and the end of
+        any overlapping blackout."""
+        best = self.resources.cmd_bus_free
+        ru = self.resources.ref_until
+        indices = (range(len(self.banks)) if bank_index < 0
+                   else (bank_index,))
+        for bi in indices:
+            for key, slot in self.banks[bi].slots.items():
+                if subbank >= 0 and key[0] != subbank:
+                    continue
+                if slot.act_allowed > best:
+                    best = slot.act_allowed
+            if ru is not None:
+                row = ru[bi]
+                if subbank < 0:
+                    v = row[0] if row[0] >= row[1] else row[1]
+                else:
+                    v = row[subbank]
+                if v > best:
+                    best = v
+        return best
+
+    def explain_refresh(self, bank_index: int = -1,
+                        subbank: int = -1) -> list:
+        """Tagged floors of :meth:`earliest_refresh`."""
+        return [(FLOOR_BUS, self.resources.cmd_bus_free),
+                (FLOOR_REFRESH, self.earliest_refresh(bank_index, subbank))]
 
     # -- explain API (cycle accounting) -----------------------------------
     #
@@ -106,25 +191,36 @@ class Channel:
     # command is issued (they read pre-issue state) and exist only for
     # observability -- the scheduler never calls them.
 
+    def _refresh_floors(self, bank_index: int, subbank: int) -> list:
+        """The (possibly empty) refresh-blackout floor for one slot."""
+        ru = self.resources.ref_until
+        if ru is None:
+            return []
+        return [(FLOOR_REFRESH, ru[bank_index][subbank])]
+
     def explain_act(self, coords: DramCoordinates) -> list:
         """Tagged floors of :meth:`earliest_act` for these coordinates."""
         bank = self.bank(coords)
         return self.resources.act_floors() + [
-            (FLOOR_BANK, bank.earliest_act(coords.subbank, coords.row))]
+            (FLOOR_BANK, bank.earliest_act(coords.subbank, coords.row))
+        ] + self._refresh_floors(self.bank_index(coords), coords.subbank)
 
     def explain_column(self, coords: DramCoordinates,
                        is_write: bool) -> list:
         """Tagged floors of :meth:`earliest_column`."""
         bank = self.bank(coords)
+        bank_index = self.bank_index(coords)
         return self.resources.column_floors(
-            is_write, coords.bank_group, self.bank_index(coords)) + [
+            is_write, coords.bank_group, bank_index) + [
             (FLOOR_BANK,
-             bank.earliest_column(coords.subbank, coords.row))]
+             bank.earliest_column(coords.subbank, coords.row))
+        ] + self._refresh_floors(bank_index, coords.subbank)
 
     def explain_precharge(self, bank_index: int, slot: SlotKey) -> list:
         """Tagged floors of :meth:`earliest_precharge`."""
         return self.resources.precharge_floors() + [
-            (FLOOR_BANK, self.banks[bank_index].earliest_precharge(slot))]
+            (FLOOR_BANK, self.banks[bank_index].earliest_precharge(slot))
+        ] + self._refresh_floors(bank_index, slot[0])
 
     # -- committed issues --------------------------------------------------
 
@@ -182,6 +278,30 @@ class Channel:
                 "PRE_PARTIAL" if partial else "PRE", time, bank_index,
                 bank_index // self.banks_per_group, slot))
         return partial
+
+    def issue_refresh(self, time: int, bank_index: int = -1,
+                      subbank: int = -1) -> int:
+        """Issue a REF/REFpb; returns the blackout end time.
+
+        Every slot in scope must already be precharged (the policies
+        close them first, counting those precharges under
+        :attr:`~repro.dram.commands.PrechargeCause.REFRESH`).
+        """
+        still_open = self.refresh_scope_open(bank_index, subbank)
+        if still_open:
+            raise ValueError(
+                f"refresh at {time} with open rows in scope: {still_open}")
+        duration = self.refresh_duration(bank_index, subbank)
+        end = self.resources.record_refresh(
+            time, duration, bank_index, subbank)
+        if self.command_log is not None:
+            from repro.dram.validation import CommandRecord
+            self.command_log.append(CommandRecord(
+                "REF" if bank_index < 0 else "REFPB", time, bank_index,
+                -1 if bank_index < 0
+                else bank_index // self.banks_per_group,
+                (subbank if subbank >= 0 else -1, -1)))
+        return end
 
     # -- introspection -----------------------------------------------------
 

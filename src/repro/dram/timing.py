@@ -88,6 +88,18 @@ class TimingParams:
     #: not follow the first of two back-to-back writes sooner than this.
     #: Zero disables it.
     tTWTRW: int = 0
+    #: All-bank refresh cycle time: a ``REF`` blacks out every bank of the
+    #: rank for this long.  Zero (with ``tREFI`` zero) disables refresh
+    #: modelling entirely -- the pre-refresh machine.
+    tRFC: int = 0
+    #: Average refresh interval: one all-bank refresh is owed per ``tREFI``
+    #: elapsed.  JEDEC allows deferring up to eight owed refreshes, so the
+    #: hard bound is nine ``tREFI`` between refreshes of any one bank.
+    tREFI: int = 0
+    #: Per-bank refresh cycle time (``REFpb``): shorter than ``tRFC``
+    #: because only one bank's rows are refreshed.  Zero falls back to
+    #: ``tRFC`` (per-bank refresh no cheaper than all-bank).
+    tRFCpb: int = 0
 
     def __post_init__(self) -> None:
         if self.tCK <= 0:
@@ -105,11 +117,33 @@ class TimingParams:
             raise ValueError("burst_length must be a positive even beat count")
         if self.tFAW < 0:
             raise ValueError(f"tFAW must be >= 0, got {self.tFAW}")
+        if self.tRFC < 0 or self.tREFI < 0 or self.tRFCpb < 0:
+            raise ValueError("refresh timings must be >= 0")
+        if (self.tRFC > 0) != (self.tREFI > 0):
+            raise ValueError(
+                "tRFC and tREFI enable refresh together: both zero "
+                f"(disabled) or both positive, got tRFC={self.tRFC} "
+                f"tREFI={self.tREFI}")
+        if self.tRFCpb > 0 and self.tRFC == 0:
+            raise ValueError("tRFCpb requires tRFC/tREFI (refresh enabled)")
+        if 0 < self.tREFI <= self.tRFC:
+            raise ValueError("tREFI must exceed tRFC or refresh starves "
+                             "the rank")
 
     @property
     def burst_time(self) -> int:
         """Data-bus occupancy of one column command (BL beats at DDR rate)."""
         return (self.burst_length // 2) * self.tCK
+
+    @property
+    def refresh_enabled(self) -> bool:
+        """Whether this parameter set models refresh at all."""
+        return self.tRFC > 0
+
+    @property
+    def trfc_pb(self) -> int:
+        """Effective per-bank refresh cycle time (falls back to tRFC)."""
+        return self.tRFCpb if self.tRFCpb > 0 else self.tRFC
 
     @property
     def bus_frequency_hz(self) -> float:
@@ -141,6 +175,38 @@ class TimingParams:
         i.e. when the channel can outrun the pair of internal buses.
         """
         return DRAM_CORE_PERIOD_PS > 2 * self.burst_time
+
+
+#: DDR4 average refresh interval in ns (normal temperature range: one
+#: all-bank REF owed every 7.8 us).
+DDR4_TREFI_NS = 7800.0
+
+#: Representative DDR4 ``(tRFC, tRFCpb)`` in ns per die density.  tRFC
+#: grows with density (more rows per refresh burst); per-bank refresh
+#: amortises better because only one bank's rows are walked.
+REFRESH_DENSITY_GRADES_NS = {
+    "4Gb": (260.0, 90.0),
+    "8Gb": (350.0, 160.0),
+    "16Gb": (550.0, 265.0),
+}
+
+
+def ddr4_refresh_overrides(density: str = "8Gb") -> dict:
+    """``TimingParams.replace`` keywords enabling DDR4 refresh.
+
+    ``density`` selects a row of :data:`REFRESH_DENSITY_GRADES_NS`.
+    Refresh is opt-in (presets ship with it off) so that the refresh-free
+    machine's schedules stay bit-identical; enable it via
+    ``SystemConfig.refresh_policy`` or by applying these overrides.
+    """
+    try:
+        trfc_ns, trfcpb_ns = REFRESH_DENSITY_GRADES_NS[density]
+    except KeyError:
+        raise ValueError(
+            f"unknown density {density!r}; known: "
+            + ", ".join(sorted(REFRESH_DENSITY_GRADES_NS))) from None
+    return {"tRFC": ns(trfc_ns), "tREFI": ns(DDR4_TREFI_NS),
+            "tRFCpb": ns(trfcpb_ns)}
 
 
 def ddr4_timings(bus_frequency_hz: float = 1.333e9,
@@ -187,13 +253,21 @@ class GenerationSpec:
     #: Representative four-activate window in ns ("-" before the limit was
     #: standardised; tFAW first appears in the DDR2 specification).
     tfaw_ns: str = "-"
+    #: Representative refresh cycle / interval in ns as "tRFC / tREFI".
+    #: tRFC grows with density across generations while tREFI holds at
+    #: 7.8 us in the normal temperature range.
+    refresh_ns: str = "-"
 
 
 GENERATIONS = (
-    GenerationSpec("DDR", "4", "133-200", "133-200", "2n", "-"),
-    GenerationSpec("DDR2", "4-8", "266-400", "133-200", "4n", "37.5-50"),
-    GenerationSpec("DDR3", "8", "533-800", "133-200", "8n", "30-45"),
-    GenerationSpec("DDR4", "16", "1066-1600", "133-200", "8n", "21-35"),
+    GenerationSpec("DDR", "4", "133-200", "133-200", "2n", "-",
+                   "70-120 / 7800"),
+    GenerationSpec("DDR2", "4-8", "266-400", "133-200", "4n", "37.5-50",
+                   "105-327.5 / 7800"),
+    GenerationSpec("DDR3", "8", "533-800", "133-200", "8n", "30-45",
+                   "90-350 / 7800"),
+    GenerationSpec("DDR4", "16", "1066-1600", "133-200", "8n", "21-35",
+                   "260-550 / 7800"),
 )
 
 #: Channel frequencies swept in Fig. 14 (Hz).

@@ -31,6 +31,7 @@ class CommandRecord:
     """One issued command, as logged by the Channel."""
 
     kind: str            # "ACT" | "RD" | "WR" | "PRE" | "PRE_PARTIAL"
+                         # | "REF" | "REFPB"
     time: int
     bank: int            # flattened bank index
     bank_group: int
@@ -75,6 +76,17 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
       PRE_PARTIAL (Section VI-A) additionally requires an open row in
       the *other* sub-bank of the same bank -- without a raised MWL to
       preserve, a partial precharge is structurally impossible.
+    * REF / REFPB (refresh-enabled timings only): every slot in the
+      refresh scope -- the rank, one bank, or one sub-bank, per the
+      record's (bank, slot) wildcards -- must be precharged with tRP
+      and tRC satisfied, and the scope must not overlap an in-flight
+      refresh blackout.
+    * Blackout: while a refresh is in flight (``tRFC`` all-bank,
+      ``tRFCpb`` per-bank, half that per-sub-bank), no command may
+      target a covered (bank, sub-bank).
+    * Refresh interval: no demand command may find its (bank,
+      sub-bank) more than 9 x tREFI past its last covering refresh
+      (JEDEC's eight-deferral allowance; the window opens at time 0).
     """
     slots: Dict[Tuple[int, SlotKey], _SlotState] = defaultdict(_SlotState)
     last_cmd_time = NEVER
@@ -92,11 +104,70 @@ def validate_log(log: List[CommandRecord], timing: TimingParams,
     windows_active = (policy is BusPolicy.DDB and timing.tTCW > 0
                       and timing.ddb_windows_needed())
 
+    # Refresh bookkeeping: in-flight blackout windows as
+    # (end, bank, subbank) with -1 wildcards, and the last refresh
+    # covering each scope level (rank / bank / sub-bank), all opening
+    # at time 0.
+    refresh_windows: List[Tuple[int, int, int]] = []
+    last_ref_rank = 0
+    last_ref_bank: Dict[int, int] = {}
+    last_ref_pair: Dict[Tuple[int, int], int] = {}
+    max_ref_gap = 9 * timing.tREFI
+
     for rec in sorted(log, key=lambda r: r.time):
         if rec.time < last_cmd_time + timing.tCK:
             _fail(rec, "command bus (one command per tCK)",
                   last_cmd_time + timing.tCK)
         last_cmd_time = rec.time
+        if refresh_windows:
+            refresh_windows = [w for w in refresh_windows
+                               if w[0] > rec.time]
+        if rec.kind in ("REF", "REFPB"):
+            if not timing.refresh_enabled:
+                _fail(rec, "refresh with refresh modelling disabled "
+                      "(tRFC == 0)", -1)
+            b, sb = rec.bank, rec.slot[0]
+            for end, wb, ws in refresh_windows:
+                if (wb < 0 or b < 0 or wb == b) and \
+                        (ws < 0 or sb < 0 or ws == sb):
+                    _fail(rec, "refresh into an active blackout", end)
+            for (bank, slot), s in slots.items():
+                if b >= 0 and bank != b:
+                    continue
+                if sb >= 0 and slot[0] != sb:
+                    continue
+                if s.open_row >= 0:
+                    _fail(rec, "refresh with an open row in scope", -1)
+                if rec.time < s.pre_time + timing.tRP:
+                    _fail(rec, "tRP before refresh",
+                          s.pre_time + timing.tRP)
+                if rec.time < s.act_time + timing.tRC:
+                    _fail(rec, "tRC before refresh",
+                          s.act_time + timing.tRC)
+            duration = (timing.tRFC if b < 0 else
+                        timing.trfc_pb if sb < 0 else
+                        (timing.trfc_pb + 1) // 2)
+            refresh_windows.append((rec.time + duration, b, sb))
+            if b < 0:
+                last_ref_rank = max(last_ref_rank, rec.time)
+            elif sb < 0:
+                last_ref_bank[b] = max(last_ref_bank.get(b, 0),
+                                       rec.time)
+            else:
+                last_ref_pair[(b, sb)] = max(
+                    last_ref_pair.get((b, sb), 0), rec.time)
+            continue
+        if timing.refresh_enabled:
+            sb = rec.slot[0]
+            for end, wb, ws in refresh_windows:
+                if (wb < 0 or wb == rec.bank) and (ws < 0 or ws == sb):
+                    _fail(rec, "tRFC blackout (refresh in flight)", end)
+            covered = max(last_ref_rank,
+                          last_ref_bank.get(rec.bank, 0),
+                          last_ref_pair.get((rec.bank, sb), 0))
+            if rec.time - covered > max_ref_gap:
+                _fail(rec, "9 x tREFI (bank starved of refresh)",
+                      covered + max_ref_gap)
         key = (rec.bank, rec.slot)
         state = slots[key]
         if rec.kind == "ACT":

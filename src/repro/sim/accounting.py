@@ -31,6 +31,10 @@ Gap attribution (:class:`StallBucket`):
 ``row_conflict`` / ``policy_close``
     Precharge of the transaction's own conflicting row, or a
     speculative adaptive-page-policy close.
+``refresh``
+    Refresh work: the gap before a ``REF``/``REFpb`` command or a
+    refresh-forced close, and any demand command whose binding floor
+    was an in-flight refresh blackout (``tRFC``/``tRFCpb``).
 ``bank_busy``
     The issued command waited on its own (sub-)bank's FSM --
     ``tRCD``/``tRAS``/``tRC``/``tRP``/``tWR``/``tRTP``, or MASA's
@@ -90,6 +94,7 @@ class StallBucket(enum.Enum):
     EWLR_MISS = "ewlr_miss"
     ROW_CONFLICT = "row_conflict"
     POLICY_CLOSE = "policy_close"
+    REFRESH = "refresh"
     CCD_WTR_LONG = "ccd_wtr_long"
     DDB_WINDOW = "ddb_window"
     TRRD = "trrd"
@@ -106,17 +111,21 @@ _FLOOR_BUCKETS = {
     res.FLOOR_TRRD: StallBucket.TRRD,
     res.FLOOR_TFAW: StallBucket.TFAW,
     res.FLOOR_BANK: StallBucket.BANK_BUSY,
+    res.FLOOR_REFRESH: StallBucket.REFRESH,
 }
 
 #: Tie-break order among floors releasing at the same time: prefer the
-#: mechanism-specific explanation over the generic bus.
+#: mechanism-specific explanation over the generic bus.  A refresh
+#: blackout is the most specific of all -- when it ties with a bank
+#: floor the bank was busy *because* of the refresh.
 _FLOOR_PRIORITY = {
-    StallBucket.DDB_WINDOW: 0,
-    StallBucket.CCD_WTR_LONG: 1,
-    StallBucket.TFAW: 2,
-    StallBucket.TRRD: 3,
-    StallBucket.BANK_BUSY: 4,
-    StallBucket.BUS: 5,
+    StallBucket.REFRESH: 0,
+    StallBucket.DDB_WINDOW: 1,
+    StallBucket.CCD_WTR_LONG: 2,
+    StallBucket.TFAW: 3,
+    StallBucket.TRRD: 4,
+    StallBucket.BANK_BUSY: 5,
+    StallBucket.BUS: 6,
 }
 
 
@@ -158,6 +167,11 @@ class BankStats:
     plane_conflict_precharges: int = 0
     row_conflict_precharges: int = 0
     policy_precharges: int = 0
+    #: Closes forced so a refresh scope could be fully precharged.
+    refresh_precharges: int = 0
+    #: REF/REFpb commands; all-bank REFs file under the pseudo-bank
+    #: ``(-1, -1)`` row (they serve the whole rank, not one bank).
+    refreshes: int = 0
     ddb_window_stalls: int = 0
     #: Stall picoseconds charged to commands serving this (sub-)bank.
     stall_ps: int = 0
@@ -192,6 +206,8 @@ class BankStats:
         self.plane_conflict_precharges += other.plane_conflict_precharges
         self.row_conflict_precharges += other.row_conflict_precharges
         self.policy_precharges += other.policy_precharges
+        self.refresh_precharges += other.refresh_precharges
+        self.refreshes += other.refreshes
         self.ddb_window_stalls += other.ddb_window_stalls
         self.stall_ps += other.stall_ps
 
@@ -206,6 +222,8 @@ class BankStats:
             "plane_conflict_precharges": self.plane_conflict_precharges,
             "row_conflict_precharges": self.row_conflict_precharges,
             "policy_precharges": self.policy_precharges,
+            "refresh_precharges": self.refresh_precharges,
+            "refreshes": self.refreshes,
             "ddb_window_stalls": self.ddb_window_stalls,
             "stall_ps": self.stall_ps,
             "row_hit_rate": self.row_hit_rate,
@@ -286,7 +304,13 @@ class ChannelAccounting:
         bucket = StallBucket.ISSUE
         stats = self.bank_stats(bank, subbank)
         if wait > 0:
-            if cause is PrechargeCause.PLANE_CONFLICT:
+            if (kind is CommandKind.REF or kind is CommandKind.REFPB
+                    or cause is PrechargeCause.REFRESH):
+                # Refresh work: the REF/REFpb itself or a close forced
+                # so the scope could refresh.
+                bucket = StallBucket.REFRESH
+                self.buckets[bucket] += wait
+            elif cause is PrechargeCause.PLANE_CONFLICT:
                 bucket = (StallBucket.EWLR_MISS if self.ewlr
                           else StallBucket.PLANE_CONFLICT)
                 self.buckets[bucket] += wait
@@ -319,6 +343,8 @@ class ChannelAccounting:
             stats.reads += 1
         elif kind is CommandKind.WR:
             stats.writes += 1
+        elif kind is CommandKind.REF or kind is CommandKind.REFPB:
+            stats.refreshes += 1
         else:
             stats.precharges += 1
             if partial:
@@ -329,6 +355,8 @@ class ChannelAccounting:
                 stats.row_conflict_precharges += 1
             elif cause is PrechargeCause.POLICY:
                 stats.policy_precharges += 1
+            elif cause is PrechargeCause.REFRESH:
+                stats.refresh_precharges += 1
         # Queue-occupancy bookkeeping for the next gap.
         if queue_empty_after:
             self._empty_since = time
@@ -540,7 +568,9 @@ class CommandObserver:
         if kind in (CommandKind.RD, CommandKind.WR):
             return self.channel.explain_column(
                 candidate.txn.coords, kind is CommandKind.WR)
-        return None  # precharges are attributed by cause, not floors
+        # Precharges are attributed by cause, REF/REFpb wholesale to
+        # the refresh bucket -- neither needs a floor decomposition.
+        return None
 
     def on_command(self, candidate, floors, ewlr_hit: bool,
                    partial: bool, queue_empty_after: bool) -> None:
@@ -552,6 +582,13 @@ class CommandObserver:
             row, core = -1, -1
             if partial:
                 kind = CommandKind.PRE_PARTIAL
+        elif kind is CommandKind.REF or kind is CommandKind.REFPB:
+            # Refresh candidates serve no transaction; the victim slot
+            # encodes the scope: (-1, (-1, -1)) all-bank, (b, (-1, -1))
+            # per-bank, (b, (s, -1)) per-sub-bank.
+            bank, slot = candidate.victim
+            subbank, group = slot[0], -1
+            row, core = -1, -1
         else:
             c = candidate.txn.coords
             bank = self.channel.bank_index(c)

@@ -36,7 +36,9 @@ from repro.dram.bank import BankGeometry
 from repro.dram.device import Channel
 from repro.dram.power import EnergyParams
 from repro.dram.resources import BusPolicy
-from repro.dram.timing import TimingParams, ddr4_timings, ns
+from repro.dram.timing import (DDR4_TREFI_NS, REFRESH_DENSITY_GRADES_NS,
+                               TimingParams, ddr4_refresh_overrides,
+                               ddr4_timings, ns)
 
 
 class Organization(enum.Enum):
@@ -84,6 +86,23 @@ class SystemConfig:
     #: Four-activate window override in nanoseconds: None keeps the
     #: preset's value, 0 disables the window (the pre-tFAW model).
     tfaw_ns: Optional[float] = None
+    #: All-bank refresh cycle time (``tRFC``) override in nanoseconds.
+    #: None keeps the preset's value (refresh off -- the presets ship
+    #: without it so historical digests are preserved); 0 forces it
+    #: off; a positive value enables refresh with ``tREFI`` = 7.8 us
+    #: and ``tRFCpb`` scaled from the 8Gb density grade.  Use
+    #: ``refresh_density`` for the exact JEDEC grades.
+    refresh_ns: Optional[float] = None
+    #: DDR4 die density selecting a (tRFC, tRFCpb) row of
+    #: :data:`repro.dram.timing.REFRESH_DENSITY_GRADES_NS`
+    #: ("4Gb" / "8Gb" / "16Gb").  Overrides ``refresh_ns``.
+    refresh_density: Optional[str] = None
+    #: Refresh scheduling policy (only meaningful with refresh
+    #: enabled): ``"baseline"`` on-deadline all-bank REF, ``"darp"``
+    #: deferred out-of-order per-bank refresh behind pending demand,
+    #: ``"sarp"`` sub-bank refresh overlapped with the partner
+    #: sub-bank's accesses (per-bank on flat-bank organisations).
+    refresh_policy: str = "baseline"
     #: Execution backend for one simulation: ``"off"`` runs the classic
     #: global event loop, ``"serial"`` / ``"threads"`` the
     #: channel-sharded loop (:mod:`repro.sim.shards`).  None keeps the
@@ -128,6 +147,15 @@ class SystemConfig:
         t = ddr4_timings(self.bus_frequency_hz)
         if self.tfaw_ns is not None:
             t = t.replace(tFAW=ns(self.tfaw_ns))
+        if self.refresh_density is not None:
+            t = t.replace(**ddr4_refresh_overrides(self.refresh_density))
+        elif self.refresh_ns:
+            # Scale tRFCpb from the 8Gb grade's per-bank/all-bank ratio
+            # so ad-hoc tRFC overrides stay self-consistent.
+            trfc, trfcpb = REFRESH_DENSITY_GRADES_NS["8Gb"]
+            t = t.replace(tRFC=ns(self.refresh_ns),
+                          tREFI=ns(DDR4_TREFI_NS),
+                          tRFCpb=ns(self.refresh_ns * trfcpb / trfc))
         if self.bus_policy is BusPolicy.DDB:
             t = t.with_ddb_windows()
         return t

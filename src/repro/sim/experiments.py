@@ -474,6 +474,72 @@ def fig16(context: ExperimentContext) -> List[LatencyEnergyRow]:
     return rows
 
 
+# -- refresh sweep: policy x density grade (docs/REFRESH.md) -----------------
+
+
+#: DDR4 density grades the refresh sweep walks (tRFC grows with
+#: density, so the refresh tax rises left to right).
+REFRESH_SWEEP_DENSITIES: Tuple[str, ...] = ("4Gb", "8Gb", "16Gb")
+
+
+@dataclass
+class RefreshPoint:
+    """One cell of the refresh sweep: policy x density grade."""
+
+    policy: str
+    density: str
+    #: GMEAN weighted speedup normalised to the same platform with
+    #: refresh off (1.0 = the policy fully hides the refresh tax).
+    normalized_ws: float
+    #: REF/REFpb commands issued, summed over mixes and channels.
+    refreshes: int
+
+
+def refresh_platform() -> SystemConfig:
+    """The sweep's platform: the headline VSB(EWLR+RAP,4P)+DDB config
+    (its sub-banks are what the ``sarp`` policy refreshes under open
+    neighbours)."""
+    return cfgs.vsb(EruConfig.full(4))
+
+
+def refresh_configs(densities: Sequence[str] = REFRESH_SWEEP_DENSITIES
+                    ) -> List[SystemConfig]:
+    from repro.controller.scheduler import REFRESH_POLICIES
+    base = refresh_platform()
+    return [
+        replace(base, refresh_density=density, refresh_policy=policy,
+                name=f"{base.name}+ref-{policy}-{density}")
+        for density in densities
+        for policy in REFRESH_POLICIES
+    ]
+
+
+def fig_refresh(context: ExperimentContext,
+                densities: Sequence[str] = REFRESH_SWEEP_DENSITIES
+                ) -> List[RefreshPoint]:
+    """Weighted speedup per refresh policy and density grade, normalised
+    to the refresh-off platform (the figure in ``docs/REFRESH.md``)."""
+    mixes = context.settings.mixes
+    base = refresh_platform()
+    configs = refresh_configs(densities)
+    context.prefetch([(config, mix) for config in [base] + configs
+                      for mix in mixes])
+    base_ws = {mix: context.mix_ws(base, mix)[0] for mix in mixes}
+    points: List[RefreshPoint] = []
+    for config in configs:
+        normalized, refreshes = [], 0
+        for mix in mixes:
+            ws, result = context.mix_ws(config, mix)
+            normalized.append(ws / base_ws[mix])
+            refreshes += result.stats.refreshes
+        points.append(RefreshPoint(
+            policy=config.refresh_policy,
+            density=config.refresh_density,
+            normalized_ws=gmean(normalized),
+            refreshes=refreshes))
+    return points
+
+
 # -- stall-attribution sidecars ----------------------------------------------
 
 

@@ -642,6 +642,19 @@ class ShardedSimulator:
                         "completion?")
                 # -- horizons from per-core routing lookahead -------------
                 horizons = ([BLOCKED] if n == 1 else self._horizons(s))
+                # A pending refresh deadline additionally bounds
+                # run-ahead.  Refresh state is channel-local, so a
+                # shard would schedule its refreshes correctly however
+                # far it ran -- the clamp is defence in depth: it keeps
+                # any future cross-channel refresh coupling (e.g. a
+                # shared-rank power budget) failing safe instead of
+                # silently diverging, at one barrier per deadline.
+                # Clamping strictly above the shard's earliest pending
+                # event preserves the progress guarantee.
+                for i in range(n):
+                    bound = shards[i].controller.refresh_horizon()
+                    if bound is not None and s[i] < bound < horizons[i]:
+                        horizons[i] = bound
                 # -- run every shard with work below its horizon ----------
                 self.rounds += 1
                 remaining = max_commands - total

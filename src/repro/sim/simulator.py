@@ -92,7 +92,8 @@ class MemorySystem:
             self.observers.append(observer)
             self.controllers.append(ChannelController(
                 channel, config.queue, config.idle_close_ps,
-                observer=observer, incremental=config.incremental))
+                observer=observer, incremental=config.incremental,
+                refresh_policy=config.refresh_policy))
         #: Memoised address routing: traces revisit rows constantly, and
         #: a failed enqueue (full queue) re-routes the same address, so
         #: decoded coordinates are cached per physical address (bounded
@@ -193,9 +194,14 @@ class SimulationResult:
             ",".join(str(v) for v in sorted(s.read_latencies)),
             f"{e.activations},{e.ewlr_hit_activations},{e.precharges},"
             f"{e.partial_precharges},{e.reads},{e.writes}",
+            # The refresh cause joins the serialization only once it
+            # fires: refresh-off runs must keep the exact pre-refresh
+            # digest strings (the other causes keep their legacy
+            # always-present zeros).
             ",".join(f"{c.value}:{n}"
                      for c, n in sorted(self.precharge_causes.items(),
-                                        key=lambda kv: kv[0].value)),
+                                        key=lambda kv: kv[0].value)
+                     if n or c is not PrechargeCause.REFRESH),
             f"{self.elapsed_ps},{self.transactions}",
         ]
         return hashlib.sha256("|".join(parts).encode()).hexdigest()

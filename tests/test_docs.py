@@ -35,6 +35,7 @@ def test_public_core_and_dram_api_is_fully_docstringed():
     "EXPERIMENTS.md",
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
+    "docs/REFRESH.md",
 ])
 def test_markdown_links_resolve(page):
     check = _load_tool("check_links")
@@ -44,6 +45,7 @@ def test_markdown_links_resolve(page):
 @pytest.mark.parametrize("page", [
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
+    "docs/REFRESH.md",
 ])
 def test_doc_examples_execute(page):
     results = doctest.testfile(str(REPO / page), module_relative=False)
@@ -51,3 +53,6 @@ def test_doc_examples_execute(page):
     if page.endswith("OBSERVABILITY.md"):
         assert results.attempted >= 10, \
             "the observability guide must keep its worked examples"
+    if page.endswith("REFRESH.md"):
+        assert results.attempted >= 8, \
+            "the refresh chapter must keep its worked examples"

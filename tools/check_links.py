@@ -9,8 +9,15 @@ Extracts every inline markdown link/image target (``[text](target)``)
 and verifies that relative targets exist on disk, resolved against the
 containing file's directory.  External targets (``http(s)://``,
 ``mailto:``) and pure in-page anchors (``#...``) are skipped; a
-``path#anchor`` target is checked for the path part only.  Exit status
-1 if any target is missing.
+``path#anchor`` target is checked for the path part only.
+
+Backticked inline code that *looks like a path* is checked too: an
+absolute path (``/root/...``), or a relative one anchored at an entry
+that exists in the repository root (``docs/FOO.md``, ``tools/x.py``).
+The anchor requirement keeps slash-joined jargon (``tRFC/tREFI``,
+``serial/threads``) out of scope while still catching references to
+files that were moved, renamed, or never existed.  Exit status 1 if
+any target is missing.
 """
 
 from __future__ import annotations
@@ -24,7 +31,35 @@ from typing import List
 #: reference-style links are not used here.
 _LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
+#: Backticked inline code spans (fenced blocks are stripped first).
+_CODE_RE = re.compile(r"`([^`\n]+)`")
+
 _SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+#: Repository root: path references in any doc resolve against this.
+_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _path_candidate(span: str) -> str:
+    """The path a backticked span refers to, or '' if it is not one.
+
+    A candidate has no whitespace (commands and prose disqualify
+    themselves), contains a slash, carries no glob/placeholder
+    characters, and -- for relative spans -- is anchored at a name
+    that exists in the repository root.  Trailing ``:LINE`` suffixes
+    (``src/x.py:12``) are dropped before checking.
+    """
+    if any(c in span for c in " \t*?<>{}$=()|"):
+        return ""
+    if span.startswith(_SKIP_PREFIXES) or "/" not in span:
+        return ""
+    span = re.sub(r":\d+(-\d+)?$", "", span)
+    if span.startswith("/"):
+        return span
+    anchor = span.split("/", 1)[0]
+    if anchor in ("..", "."):
+        return span
+    return span if (_ROOT / anchor).exists() else ""
 
 
 def check_file(path: Path) -> List[str]:
@@ -45,6 +80,23 @@ def check_file(path: Path) -> List[str]:
             line = text.count("\n", 0, match.start()) + 1
             problems.append(
                 f"{path}:{line}: broken link -> {target}")
+    for match in _CODE_RE.finditer(text):
+        candidate = _path_candidate(match.group(1))
+        if not candidate:
+            continue
+        if candidate.startswith("/"):
+            exists = Path(candidate).exists()
+        else:
+            # Accept either anchoring: the containing file's directory
+            # (how markdown links resolve) or the repository root (how
+            # docs cite repo files regardless of their own location).
+            exists = ((path.parent / candidate).exists()
+                      or (_ROOT / candidate).exists())
+        if not exists:
+            line = text.count("\n", 0, match.start()) + 1
+            problems.append(
+                f"{path}:{line}: dangling path reference -> "
+                f"{match.group(1)}")
     return problems
 
 

@@ -13,7 +13,9 @@ count >= 17 covers every preset), a synthetic trace set (core count,
 access count, gap/write/locality profile), a channel-frequency grade,
 and occasionally a ``tFAW`` override (disabled, or tightened) -- then
 runs the simulator with command logging and cross-checks four
-independent oracles:
+independent oracles.  Half the cases additionally draw a DRAM refresh
+density grade and policy (``--refresh`` forces refresh on in every
+case), so the refresh scheduler rides every oracle below:
 
 1. **Reference vs. incremental scheduling**: the two selection paths
    must produce bit-identical command streams and result digests.
@@ -64,6 +66,15 @@ FREQUENCY_GRADES = (None, 1.6e9, 2.0e9, 2.4e9)
 #: actually binds in short runs).
 TFAW_GRADES_NS = (None, None, None, 0, 45)
 
+#: DDR4 refresh density grades a case may draw (each fixes tRFC and
+#: tRFCpb, see :data:`repro.dram.timing.REFRESH_DENSITY_GRADES_NS`).
+REFRESH_DENSITIES = ("4Gb", "8Gb", "16Gb")
+
+#: The refresh draw: half the cases leave refresh off (None), the rest
+#: enable one density grade.  ``--refresh`` restricts the draw to the
+#: density grades so every case exercises the refresh machinery.
+REFRESH_GRADES = (None, None, None) + REFRESH_DENSITIES
+
 
 @dataclass(frozen=True)
 class Case:
@@ -73,17 +84,21 @@ class Case:
     config_name: str
     cores: int
     accesses: int
+    #: ``--refresh`` was given: the density draw skips the None grades.
+    refresh: bool = False
 
     def repro_command(self) -> str:
         """A shell command that replays exactly this case."""
         return (f"PYTHONPATH=src python tools/fuzz_schedules.py "
                 f"--start {self.seed} --seeds 1 "
-                f"--cores {self.cores} --accesses {self.accesses}")
+                f"--cores {self.cores} --accesses {self.accesses}"
+                + (" --refresh" if self.refresh else ""))
 
 
 def draw_case(seed: int, presets: Optional[List] = None,
               cores: Optional[int] = None,
-              accesses: Optional[int] = None) -> Case:
+              accesses: Optional[int] = None,
+              refresh: bool = False) -> Case:
     """Deterministically draw a case from its seed (plus overrides)."""
     presets = presets if presets is not None else cfgs.all_presets()
     rng = random.Random(seed)
@@ -94,6 +109,7 @@ def draw_case(seed: int, presets: Optional[List] = None,
         cores=cores if cores is not None else rng.randint(1, 4),
         accesses=accesses if accesses is not None
         else rng.randint(80, 280),
+        refresh=refresh,
     )
 
 
@@ -110,6 +126,14 @@ def build_config(case: Case, presets: Optional[List] = None):
     if tfaw is not None:
         config = replace(config, tfaw_ns=tfaw,
                          name=f"{config.name}+tFAW{tfaw:g}ns")
+    density = rng.choice(REFRESH_DENSITIES if case.refresh
+                         else REFRESH_GRADES)
+    if density is not None:
+        from repro.controller.scheduler import REFRESH_POLICIES
+        policy = rng.choice(REFRESH_POLICIES)
+        config = replace(config, refresh_density=density,
+                         refresh_policy=policy,
+                         name=f"{config.name}+ref-{policy}-{density}")
     return replace(config, record_commands=True)
 
 
@@ -240,13 +264,14 @@ def minimize(case: Case,
 def run_seeds(start: int, count: int, presets: Optional[List] = None,
               cores: Optional[int] = None,
               accesses: Optional[int] = None,
-              sharded: bool = False,
+              sharded: bool = False, refresh: bool = False,
               out=sys.stdout) -> int:
     """Fuzz ``count`` seeds from ``start``; returns the failure count."""
     presets = presets if presets is not None else cfgs.all_presets()
     failures = 0
     for seed in range(start, start + count):
-        case = draw_case(seed, presets, cores=cores, accesses=accesses)
+        case = draw_case(seed, presets, cores=cores, accesses=accesses,
+                         refresh=refresh)
         message = check_case(case, presets, sharded=sharded)
         if message is None:
             print(f"seed {seed:4d} ok    {case.config_name:24s} "
@@ -283,6 +308,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "and hold them to the reference command "
                              "stream, digest, rule checker, and "
                              "accounting invariant")
+    parser.add_argument("--refresh", action="store_true",
+                        help="force DRAM refresh on in every case "
+                             "(density grade and policy still drawn "
+                             "per seed) instead of the default "
+                             "half-on/half-off draw")
     args = parser.parse_args(argv)
     presets = cfgs.all_presets()
     if args.config is not None:
@@ -292,7 +322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                          + ", ".join(p.name for p in cfgs.all_presets()))
     failures = run_seeds(args.start, args.seeds, presets,
                          cores=args.cores, accesses=args.accesses,
-                         sharded=args.sharded)
+                         sharded=args.sharded, refresh=args.refresh)
     if failures:
         print(f"{failures} of {args.seeds} seeds failed")
         return 1
