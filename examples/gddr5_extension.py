@@ -3,10 +3,12 @@
 
 The paper reports a preliminary experiment applying DDB-style dual
 buses to GDDR5 with a simulated GPGPU and observing ~10% speedup on
-memory-intensive Rodinia kernels.  This example approximates that
-setting: a much faster channel clock (GDDR5's bank-group era), and
-latency-tolerant "GPU-like" cores (huge instruction windows, massive
-MLP, streaming-heavy traffic).
+memory-intensive Rodinia kernels.  This example uses the first-class
+``gddr5`` technology backend (:func:`repro.sim.config.gddr5` --
+GDDR5 core timings, 2.5 GHz bus, its own refresh grade and power
+model) as the baseline, and compares it against the VSB organisations
+running at the same clock, with latency-tolerant "GPU-like" cores
+(huge instruction windows, massive MLP, streaming-heavy traffic).
 
 Run:  python examples/gddr5_extension.py [accesses]
 """
@@ -14,7 +16,7 @@ Run:  python examples/gddr5_extension.py [accesses]
 import sys
 
 from repro import CoreConfig, EruConfig, run_traces
-from repro.sim.config import ddr4_baseline, vsb
+from repro.sim.config import gddr5, vsb
 from repro.workloads.generator import generate_traces
 from repro.workloads.profiles import BenchmarkProfile
 
@@ -44,10 +46,10 @@ def main() -> None:
 
     # GDDR5-class channel: the core-to-channel frequency gap is what
     # makes the dual-bus scheme matter (Fig. 14's regime).
-    gddr_clock = 2.5e9
+    baseline = gddr5()
+    gddr_clock = baseline.bus_frequency_hz
     core = gpu_core()
 
-    baseline = ddr4_baseline().at_frequency(gddr_clock)
     bank_grouped = vsb(EruConfig.full(4, ddb=False)).at_frequency(
         gddr_clock)
     with_ddb = vsb(EruConfig.full(4, ddb=True)).at_frequency(gddr_clock)

@@ -56,6 +56,9 @@ CONFIG_FACTORIES = {
     "masa4": lambda: cfgs.masa(4),
     "masa8": lambda: cfgs.masa(8),
     "masa8-eruca": lambda: cfgs.masa_eruca(8),
+    "pcm-palp": cfgs.pcm_palp,
+    "pcm-palp-vsb": lambda: cfgs.pcm_palp(EruConfig.full(4, ddb=False)),
+    "gddr5": cfgs.gddr5,
 }
 
 
@@ -98,9 +101,14 @@ def _cell_config(args):
     density = getattr(args, "refresh", None)
     if density is not None:
         policy = getattr(args, "refresh_policy", "baseline")
-        config = dataclasses.replace(
-            config, refresh_density=density, refresh_policy=policy,
-            name=f"{config.name}+ref-{policy}-{density}")
+        try:
+            config = dataclasses.replace(
+                config, refresh_density=density, refresh_policy=policy,
+                name=f"{config.name}+ref-{policy}-{density}")
+        except ValueError as exc:
+            # e.g. --refresh on a refresh-free technology (PCM), or a
+            # density grade the backend does not ship.
+            raise SystemExit(str(exc)) from None
     return config
 
 

@@ -682,7 +682,10 @@ class Scheduler:
                 cause = (PrechargeCause.PLANE_CONFLICT
                          if verdict is ActivationVerdict.PLANE_CONFLICT
                          else PrechargeCause.ROW_CONFLICT)
-                t = self.channel.earliest_precharge(bank_index, victim_slot)
+                # A PRE serving a pending read may *cancel* an in-flight
+                # PCM write pulse (a no-op floor change on DRAM).
+                t = self.channel.earliest_precharge(bank_index, victim_slot,
+                                                    txn.is_read)
                 out.append(Candidate(max(now, t), PRIO_PRE, txn,
                                      CommandKind.PRE, victim=loc,
                                      cause=cause, seq=txn.seq,
@@ -743,7 +746,7 @@ class Scheduler:
             active = slots[txn.slot].active_row
             self.candidates_built += 1
             if active == c.row:  # ROW_HIT
-                t = bank.earliest_column(c.subbank, c.row)
+                t = bank.earliest_column(c.subbank, c.row, not txn.is_read)
                 if rb is not None and rb[c.subbank] > t:
                     t = rb[c.subbank]
                 table = SelectionTable(
@@ -774,7 +777,7 @@ class Scheduler:
                     [(t, txn.arrival_time, txn.seq, txn)])
                 self._aux_tables[bank_index] = (table, None, None)
             else:
-                t = bank.earliest_precharge(victim_slot)
+                t = bank.earliest_precharge(victim_slot, txn.is_read)
                 if rb is not None and rb[victim_slot[0]] > t:
                     t = rb[victim_slot[0]]
                 table = SelectionTable(
@@ -829,7 +832,7 @@ class Scheduler:
                 # The drain mode fixes the direction and the bank fixes
                 # (group, index), so col_args is one value per table.
                 col_args = (not txn.is_read, c.bank_group, bank_index)
-                t = bank.earliest_column(c.subbank, c.row)
+                t = bank.earliest_column(c.subbank, c.row, not txn.is_read)
                 if rb is not None and rb[c.subbank] > t:
                     t = rb[c.subbank]
                 cols.append((t, txn.arrival_time, txn.seq, txn))
@@ -853,7 +856,7 @@ class Scheduler:
                 cause = (PrechargeCause.PLANE_CONFLICT
                          if verdict is ActivationVerdict.PLANE_CONFLICT
                          else PrechargeCause.ROW_CONFLICT)
-                t = bank.earliest_precharge(victim_slot)
+                t = bank.earliest_precharge(victim_slot, txn.is_read)
                 if rb is not None and rb[victim_slot[0]] > t:
                     t = rb[victim_slot[0]]
                 pres.append((t, txn.arrival_time, txn.seq, txn, loc,

@@ -44,6 +44,17 @@ class CommandKind(enum.Enum):
         return self in (CommandKind.REF, CommandKind.REFPB)
 
 
+def command_set(names) -> frozenset:
+    """Resolve an iterable of opcode names into a ``CommandKind`` set.
+
+    Memory-technology backends (:mod:`repro.dram.backends`) declare
+    their command vocabulary as plain name strings; this turns that
+    data into the set :func:`repro.dram.validation.validate_log` checks
+    command logs against.
+    """
+    return frozenset(CommandKind[name] for name in names)
+
+
 class PrechargeCause(enum.Enum):
     """Why the controller closed a row -- drives Fig. 13b.
 

@@ -49,6 +49,9 @@ class Channel:
         self.energy = EnergyMeter(energy_params or EnergyParams())
         #: Precharge counts by cause, for Fig. 13b.
         self.precharge_causes = {cause: 0 for cause in PrechargeCause}
+        #: PCM write cancellations: PREs that aborted an in-flight
+        #: programming pulse (always 0 on pulse-free technologies).
+        self.write_cancels = 0
         #: Registry of open row slots, (bank index, slot key), kept in
         #: sync by issue_act/issue_precharge for the page policy's scan.
         #: A dict (insertion-ordered, values unused) so the scan order is
@@ -98,7 +101,7 @@ class Channel:
         best = max(
             self.resources.earliest_column(
                 is_write, coords.bank_group, bank_index),
-            bank.earliest_column(coords.subbank, coords.row),
+            bank.earliest_column(coords.subbank, coords.row, is_write),
         )
         ru = self.resources.ref_until
         if ru is not None:
@@ -107,11 +110,13 @@ class Channel:
                 best = v
         return best
 
-    def earliest_precharge(self, bank_index: int, slot: SlotKey) -> int:
+    def earliest_precharge(self, bank_index: int, slot: SlotKey,
+                           cancel: bool = False) -> int:
         """Earliest legal PRE: command bus + the slot's ``tRAS``/``tWR``
-        horizons."""
+        horizons.  ``cancel=True`` asks for the PCM write-cancellation
+        floor when a pulse is in flight (a no-op on DRAM)."""
         best = max(self.resources.earliest_precharge(),
-                   self.banks[bank_index].earliest_precharge(slot))
+                   self.banks[bank_index].earliest_precharge(slot, cancel))
         ru = self.resources.ref_until
         if ru is not None:
             v = ru[bank_index][slot[0]]
@@ -213,13 +218,15 @@ class Channel:
         return self.resources.column_floors(
             is_write, coords.bank_group, bank_index) + [
             (FLOOR_BANK,
-             bank.earliest_column(coords.subbank, coords.row))
+             bank.earliest_column(coords.subbank, coords.row, is_write))
         ] + self._refresh_floors(bank_index, coords.subbank)
 
-    def explain_precharge(self, bank_index: int, slot: SlotKey) -> list:
+    def explain_precharge(self, bank_index: int, slot: SlotKey,
+                          cancel: bool = False) -> list:
         """Tagged floors of :meth:`earliest_precharge`."""
         return self.resources.precharge_floors() + [
-            (FLOOR_BANK, self.banks[bank_index].earliest_precharge(slot))
+            (FLOOR_BANK,
+             self.banks[bank_index].earliest_precharge(slot, cancel))
         ] + self._refresh_floors(bank_index, slot[0])
 
     # -- committed issues --------------------------------------------------
@@ -267,7 +274,12 @@ class Channel:
         """Issue a PRE; returns whether it was a partial precharge."""
         bank = self.banks[bank_index]
         partial = bank.partial_precharge_possible(slot)
-        bank.do_precharge(slot, time)
+        cancelled = bank.do_precharge(slot, time)
+        if cancelled:
+            # The aborted write replays after the next ACT: count the
+            # cancellation and charge the second programming burst.
+            self.write_cancels += 1
+            self.energy.record_write()
         self.resources.record_precharge(time)
         self.energy.record_precharge(partial=partial)
         self.precharge_causes[cause] += 1

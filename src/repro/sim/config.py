@@ -16,6 +16,8 @@ constructor            paper label
 ``masa``               MASA4 / MASA8 (SALP)
 ``half_dram``          Half-DRAM
 ``masa_eruca``         MASA8 + ERUCA (with or without DDB)
+``pcm_palp``           PCM-PALP (technology backend, not a paper point)
+``gddr5``              GDDR5 (technology backend, not a paper point)
 =====================  ==============================================
 
 All organisations keep capacity constant (4 KiB rank-level rows; the
@@ -25,20 +27,23 @@ baseline's half-bank select bit is its row MSB, see
 
 from __future__ import annotations
 
+import dataclasses
 import enum
+import hashlib
+import json
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.controller.mapping import AddressMapping, skylake_mapping
 from repro.controller.queue import QueueConfig
 from repro.core.mechanisms import EruConfig
+from repro.dram.backends import get_backend
 from repro.dram.bank import BankGeometry
 from repro.dram.device import Channel
 from repro.dram.power import EnergyParams
 from repro.dram.resources import BusPolicy
-from repro.dram.timing import (DDR4_TREFI_NS, REFRESH_DENSITY_GRADES_NS,
-                               TimingParams, ddr4_refresh_overrides,
-                               ddr4_timings, ns)
+from repro.dram.timing import TimingParams, ns
 
 
 class Organization(enum.Enum):
@@ -109,6 +114,32 @@ class SystemConfig:
     #: module default (:data:`repro.sim.shards.SHARDS_DEFAULT`).  A
     #: host-side knob only -- every backend is digest-identical.
     shards: Optional[str] = None
+    #: Memory-technology backend supplying the command set, timing-rule
+    #: table, refresh grades, and power model
+    #: (:mod:`repro.dram.backends`): ``"dram"`` (DDR4), ``"pcm_palp"``,
+    #: or ``"gddr5"``.
+    backend: str = "dram"
+
+    def __post_init__(self) -> None:
+        tech = get_backend(self.backend)  # raises on unknown names
+        if self.refresh_enabled and not tech.refresh_capable:
+            raise ValueError(
+                f"backend {self.backend!r} has no refresh (refresh_ns / "
+                f"refresh_density cannot be set on {self.name!r})")
+        if (self.refresh_density is not None
+                and self.refresh_density not in tech.refresh_grades_ns):
+            known = ", ".join(sorted(tech.refresh_grades_ns))
+            raise ValueError(
+                f"backend {self.backend!r} has no {self.refresh_density!r} "
+                f"density grade (known: {known})")
+        if (self.refresh_enabled and self.refresh_policy == "sarp"
+                and not self.subbanked):
+            warnings.warn(
+                f"refresh_policy='sarp' on non-sub-banked {self.name!r} "
+                "degrades to per-bank 'darp' (no partner sub-bank to "
+                "overlap); effective_refresh_policy records the policy "
+                "actually applied",
+                stacklevel=2)
 
     # -- derived properties ----------------------------------------------
 
@@ -143,22 +174,61 @@ class SystemConfig:
             return BusPolicy.DDB
         return BusPolicy.BANK_GROUPS
 
+    @property
+    def refresh_enabled(self) -> bool:
+        return self.refresh_density is not None or bool(self.refresh_ns)
+
+    @property
+    def effective_refresh_policy(self) -> str:
+        """The refresh policy actually applied by the scheduler.
+
+        ``"sarp"`` needs a partner sub-bank to overlap refresh with, so
+        on flat-bank organisations it degrades to per-bank ``"darp"``
+        (see :class:`repro.controller.scheduler.RefreshScheduler`).
+        """
+        if self.refresh_policy == "sarp" and not self.subbanked:
+            return "darp"
+        return self.refresh_policy
+
     def timing(self) -> TimingParams:
-        t = ddr4_timings(self.bus_frequency_hz)
+        tech = get_backend(self.backend)
+        t = tech.timings(self.bus_frequency_hz)
         if self.tfaw_ns is not None:
             t = t.replace(tFAW=ns(self.tfaw_ns))
         if self.refresh_density is not None:
-            t = t.replace(**ddr4_refresh_overrides(self.refresh_density))
+            t = t.replace(**tech.refresh_overrides(self.refresh_density))
         elif self.refresh_ns:
-            # Scale tRFCpb from the 8Gb grade's per-bank/all-bank ratio
-            # so ad-hoc tRFC overrides stay self-consistent.
-            trfc, trfcpb = REFRESH_DENSITY_GRADES_NS["8Gb"]
-            t = t.replace(tRFC=ns(self.refresh_ns),
-                          tREFI=ns(DDR4_TREFI_NS),
-                          tRFCpb=ns(self.refresh_ns * trfcpb / trfc))
+            t = t.replace(**tech.adhoc_refresh_overrides(self.refresh_ns))
         if self.bus_policy is BusPolicy.DDB:
             t = t.with_ddb_windows()
         return t
+
+    def digest_payload(self) -> dict:
+        """Canonical JSON-able form of every behaviour-affecting field.
+
+        Host-side knobs (``record_commands``, ``incremental``,
+        ``shards``) and the cosmetic ``name`` are excluded: configs
+        differing only in those produce bit-identical simulations.
+        """
+        skip = {"name", "record_commands", "incremental", "shards"}
+
+        def conv(value):
+            if isinstance(value, enum.Enum):
+                return value.value
+            if dataclasses.is_dataclass(value) and not isinstance(value,
+                                                                  type):
+                return {f.name: conv(getattr(value, f.name))
+                        for f in dataclasses.fields(value)}
+            return value
+
+        return {f.name: conv(getattr(self, f.name))
+                for f in dataclasses.fields(self) if f.name not in skip}
+
+    def digest(self) -> str:
+        """SHA-256 over :meth:`digest_payload` -- a stable identity for
+        caching: equal digests imply equal simulated behaviour."""
+        payload = json.dumps(self.digest_payload(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     def bank_geometry(self) -> BankGeometry:
         groups = self.masa_groups if self.organization in (
@@ -272,14 +342,42 @@ def masa_eruca(groups: int = 8, ddb: bool = True,
                         eru=eru, masa_groups=groups)
 
 
+def pcm_palp(eru: EruConfig = None) -> SystemConfig:
+    """Phase-change memory with PALP-style partition parallelism.
+
+    Asymmetric array timing (slow reads, fast write *initiation*, a long
+    self-timed write pulse), write cancellation on a pending-read
+    conflict, and no refresh.  With ``eru`` the partitions additionally
+    get ERUCA's sub-banked resource sharing.
+    """
+    tech = get_backend("pcm_palp")
+    if eru is None:
+        return SystemConfig("PCM-PALP", Organization.DDR4_16,
+                            backend="pcm_palp", energy=tech.energy)
+    return SystemConfig(f"PCM-PALP({eru.name})", Organization.VSB,
+                        eru=eru, backend="pcm_palp", energy=tech.energy)
+
+
+def gddr5() -> SystemConfig:
+    """GDDR5 graphics DRAM: 2.5 GHz bus, tighter core timings, the
+    shorter per-bank refresh of high-bandwidth parts (promoted from
+    ``examples/gddr5_extension.py``)."""
+    tech = get_backend("gddr5")
+    return SystemConfig("GDDR5", Organization.DDR4_16, backend="gddr5",
+                        bus_frequency_hz=tech.default_frequency_hz,
+                        energy=tech.energy)
+
+
 def all_presets() -> list:
     """Every preset the experiments evaluate, plus stress variants.
 
     The shared corpus for the equivalence tests, the accounting property
     tests, and the differential fuzzer (``tools/fuzz_schedules.py``):
     each organisation of Figs. 12-16, a high-frequency DDB point where
-    the guard windows bind, and two adaptive-page-policy variants (the
-    policy-close path has its own candidate bookkeeping).
+    the guard windows bind, two adaptive-page-policy variants (the
+    policy-close path has its own candidate bookkeeping), and the
+    non-DDR4 technology backends (PCM-PALP flat and sub-banked, GDDR5).
+    The 17 ``dram`` presets come first, in their historical order.
     """
     return [
         ddr4_baseline(),
@@ -301,4 +399,7 @@ def all_presets() -> list:
                 name="DDR4+close@400ns"),
         replace(vsb(EruConfig.full(4)), idle_close_ps=400_000,
                 name="VSB+close@400ns"),
+        pcm_palp(),
+        pcm_palp(EruConfig.full(4, ddb=False)),
+        gddr5(),
     ]

@@ -70,11 +70,17 @@ class ExperimentContext:
     def __init__(self, settings: ExperimentSettings = ExperimentSettings(),
                  core_config: CoreConfig = CoreConfig(),
                  jobs: int = 1, disk_cache: bool = True,
-                 observe: bool = False) -> None:
+                 observe: bool = False,
+                 alone_config: Optional[SystemConfig] = None) -> None:
         self.settings = settings
         self.core_config = core_config
         self.jobs = jobs
         self.observe = observe
+        #: The configuration alone-IPC denominators run on (weighted
+        #: speedup normalises against it).  Part of the disk-cache key,
+        #: so a refresh-enabled or non-DRAM alone baseline never
+        #: collides with the default's entries.
+        self.alone_config = alone_config or cfgs.ddr4_baseline()
         self.disk_cache: Optional[AloneIpcDiskCache] = (
             AloneIpcDiskCache() if disk_cache else None)
         self._trace_cache: Dict[tuple, List[Trace]] = {}
@@ -102,8 +108,8 @@ class ExperimentContext:
 
     def _alone_disk_key(self, key: tuple) -> str:
         benchmark, frag, seed, accesses, clock_hz = key
-        return AloneIpcDiskCache.key(benchmark, frag, seed, accesses,
-                                     clock_hz)
+        return AloneIpcDiskCache.key(self.alone_config, benchmark, frag,
+                                     seed, accesses, clock_hz)
 
     def alone_ipc(self, benchmark: str,
                   fragmentation: Optional[float] = None,
@@ -120,7 +126,7 @@ class ExperimentContext:
                 traces = generate_traces(
                     [profile(benchmark)], s.accesses_per_core,
                     fragmentation=frag, seed=s.seed)
-                result = run_traces(cfgs.ddr4_baseline(), traces,
+                result = run_traces(self.alone_config, traces,
                                     core_config=cc)
                 value = result.ipcs[0]
                 if self.disk_cache is not None:
@@ -192,7 +198,7 @@ class ExperimentContext:
                             continue
                     queued.add(akey)
                     jobs.append(SimJob(
-                        config=cfgs.ddr4_baseline(),
+                        config=self.alone_config,
                         accesses=s.accesses_per_core, fragmentation=frag,
                         seed=s.seed, core_config=cc,
                         benchmark=benchmark))
@@ -561,10 +567,15 @@ def emit_stats_sidecars(context: ExperimentContext, directory: str,
     the figure runners executed) and, for each one that carries an
     accounting report, writes ``<prefix><config-slug>__<mix>.json`` with
     the report's :meth:`~repro.sim.accounting.AccountingReport.to_dict`
-    schema (documented in ``docs/OBSERVABILITY.md``).  Returns the paths
-    written, sorted.  Runs without accounting (``observe=False``) are
-    skipped silently, so the helper is safe to call unconditionally.
+    schema (documented in ``docs/OBSERVABILITY.md``) plus a ``system``
+    block naming the technology backend and the *effective* refresh
+    policy -- ``sarp`` on a non-sub-banked organisation degrades to
+    ``darp``, and the sidecar records the policy actually applied.
+    Returns the paths written, sorted.  Runs without accounting
+    (``observe=False``) are skipped silently, so the helper is safe to
+    call unconditionally.
     """
+    import json
     import os
 
     os.makedirs(directory, exist_ok=True)
@@ -576,11 +587,18 @@ def emit_stats_sidecars(context: ExperimentContext, directory: str,
         if report is None:
             continue
         report.verify()
+        payload = report.to_dict()
+        payload["system"] = {
+            "backend": config.backend,
+            "refresh_policy": config.refresh_policy,
+            "effective_refresh_policy": config.effective_refresh_policy,
+        }
         name = f"{prefix}{slug(config.name)}__{mix}"
         if frag != context.settings.fragmentation:
             name += f"__frag{frag:g}"
         path = os.path.join(directory, name + ".json")
         with open(path, "w") as fh:
-            report.write_json(fh)
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
         paths.append(path)
     return sorted(paths)

@@ -39,7 +39,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_CACHE_DIR = ".repro_cache"
 #: Bump to invalidate every persisted entry after a modelling change.
 #: v2: the tFAW four-activate window changed simulated IPCs.
-CACHE_VERSION = 2
+#: v3: keys gained the full alone-config digest -- the old 5-tuple key
+#: ignored refresh (and every other SystemConfig override), so a
+#: ``--refresh`` run could silently reuse a refresh-free alone-IPC.
+CACHE_VERSION = 3
 
 #: Environment variable overriding :data:`DEFAULT_GRID_MIN_COST`: set it
 #: to ``0`` to force the pool path, or very high to force serial.
@@ -240,10 +243,17 @@ class AloneIpcDiskCache:
         self._data: Optional[Dict[str, float]] = None
 
     @staticmethod
-    def key(benchmark: str, fragmentation: float, seed: int,
-            accesses: int, clock_hz: float) -> str:
-        return (f"v{CACHE_VERSION}|{benchmark}|{fragmentation!r}|{seed}"
-                f"|{accesses}|{clock_hz!r}")
+    def key(config: SystemConfig, benchmark: str, fragmentation: float,
+            seed: int, accesses: int, clock_hz: float) -> str:
+        """Cache key for one alone run.
+
+        Includes the alone config's full digest
+        (:meth:`SystemConfig.digest`), not just the clock: any override
+        that changes simulated behaviour -- refresh density/policy,
+        tFAW, queue depths, energy -- must land in a different entry.
+        """
+        return (f"v{CACHE_VERSION}|{config.digest()}|{benchmark}"
+                f"|{fragmentation!r}|{seed}|{accesses}|{clock_hz!r}")
 
     def _read_file(self) -> Dict[str, float]:
         try:
@@ -264,8 +274,12 @@ class AloneIpcDiskCache:
     def put_many(self, entries: Dict[str, float]) -> None:
         if not entries:
             return
-        merged = self._read_file()  # pick up concurrent writers
-        merged.update(self._load())
+        # Freshest-last: overlay the re-read file *over* the in-memory
+        # snapshot (which may predate a concurrent writer's replace),
+        # then the new entries over both.  The old order let a stale
+        # snapshot shadow values another process had just persisted.
+        merged = dict(self._load())
+        merged.update(self._read_file())  # pick up concurrent writers
         merged.update(entries)
         self._data = merged
         os.makedirs(self.directory, exist_ok=True)

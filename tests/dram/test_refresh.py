@@ -281,10 +281,15 @@ class TestSystemRefresh:
         assert len(digests) == 1
 
     def test_bucket_sum_invariant_over_all_presets(self):
-        """Every preset, refresh on: buckets still sum to wall time and
-        the REFRESH bucket exists (it may be zero on short runs)."""
+        """Every refresh-capable preset, refresh on: buckets still sum
+        to wall time and the REFRESH bucket exists (it may be zero on
+        short runs).  Refresh-free backends (PCM) reject the overrides
+        outright -- covered in tests/dram/test_backends.py."""
+        from repro.dram.backends import get_backend
         traces = mixed_traffic(cores=2, n=90)
         for preset in cfgs.all_presets():
+            if not get_backend(preset.backend).refresh_capable:
+                continue
             config = refresh_config(preset, policy="sarp")
             result = run_traces(config, traces, observe=True)
             result.accounting.verify()

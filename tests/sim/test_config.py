@@ -142,3 +142,61 @@ class TestMappingLayouts:
         m = ddr4_baseline().mapping()
         assert m.config.subbanks == 1
         assert m.row_layout.plane_count == 1
+
+
+class TestSarpDegradationSurfaced:
+    def test_warns_and_records_on_flat_banks(self):
+        import warnings
+        from dataclasses import replace
+
+        with pytest.warns(UserWarning, match="degrades"):
+            config = replace(ddr4_baseline(), refresh_density="8Gb",
+                             refresh_policy="sarp")
+        assert config.refresh_policy == "sarp"
+        assert config.effective_refresh_policy == "darp"
+
+    def test_subbanked_sarp_is_silent_and_effective(self):
+        import warnings
+        from dataclasses import replace
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = replace(vsb(), refresh_density="8Gb",
+                             refresh_policy="sarp")
+        assert config.effective_refresh_policy == "sarp"
+
+    def test_no_warning_without_refresh(self):
+        import warnings
+        from dataclasses import replace
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = replace(ddr4_baseline(), refresh_policy="sarp")
+        # Recorded as degraded either way -- the scheduler would apply
+        # darp if refresh were later enabled at this geometry.
+        assert config.effective_refresh_policy == "darp"
+
+    def test_sidecar_records_effective_policy(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.sim.experiments import (
+            ExperimentContext,
+            ExperimentSettings,
+            emit_stats_sidecars,
+        )
+        import json as _json
+
+        settings = ExperimentSettings(accesses_per_core=200,
+                                      mixes=("mix0",))
+        context = ExperimentContext(settings, disk_cache=False,
+                                    observe=True)
+        with pytest.warns(UserWarning, match="degrades"):
+            config = replace(ddr4_baseline(), refresh_density="8Gb",
+                             refresh_policy="sarp")
+        context.run(config, "mix0")
+        (path,) = emit_stats_sidecars(context, str(tmp_path))
+        with open(path) as fh:
+            payload = _json.load(fh)
+        assert payload["system"]["refresh_policy"] == "sarp"
+        assert payload["system"]["effective_refresh_policy"] == "darp"
+        assert payload["system"]["backend"] == "dram"

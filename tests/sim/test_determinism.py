@@ -63,7 +63,8 @@ def test_alone_runs_through_grid_match_inline(tmp_path, monkeypatch):
 
 def test_disk_cache_round_trip(tmp_path):
     cache = AloneIpcDiskCache(str(tmp_path / "cache"))
-    key = AloneIpcDiskCache.key("mcf", 0.1, 0, 250, 4e9)
+    key = AloneIpcDiskCache.key(cfgs.ddr4_baseline(), "mcf", 0.1,
+                                0, 250, 4e9)
     assert cache.get(key) is None
     cache.put(key, 1.234)
     # A fresh instance reads what the first one persisted.
@@ -71,7 +72,8 @@ def test_disk_cache_round_trip(tmp_path):
     assert fresh.get(key) == 1.234
     # Merge-on-write keeps entries from concurrent writers.
     other = AloneIpcDiskCache(str(tmp_path / "cache"))
-    other.put(AloneIpcDiskCache.key("lbm", 0.1, 0, 250, 4e9), 2.5)
+    other.put(AloneIpcDiskCache.key(cfgs.ddr4_baseline(), "lbm",
+                                    0.1, 0, 250, 4e9), 2.5)
     assert AloneIpcDiskCache(str(tmp_path / "cache")).get(key) == 1.234
 
 
@@ -111,3 +113,48 @@ def test_parallel_context_matches_serial_tables(tmp_path, monkeypatch):
     serial = fig12(ExperimentContext(settings, jobs=1), configs)
     parallel = fig12(ExperimentContext(settings, jobs=4), configs)
     assert serial.values == parallel.values
+
+
+def test_cache_key_includes_full_config_digest(tmp_path, monkeypatch):
+    """Regression (stale alone-IPC keys): a ``--refresh`` alone run must
+    never hit a refresh-free cache entry -- the key carries the full
+    config digest, so any behaviour-affecting override separates."""
+    from dataclasses import replace
+
+    base = cfgs.ddr4_baseline()
+    refreshed = replace(base, refresh_density="8Gb",
+                        refresh_policy="darp")
+    plain = AloneIpcDiskCache.key(base, "mcf", 0.1, 0, 250, 4e9)
+    with_refresh = AloneIpcDiskCache.key(refreshed, "mcf", 0.1, 0,
+                                         250, 4e9)
+    assert plain != with_refresh
+    # Host-side knobs and the cosmetic name must NOT split the key.
+    renamed = replace(base, name="renamed", record_commands=True,
+                      shards="serial")
+    assert AloneIpcDiskCache.key(renamed, "mcf", 0.1, 0, 250,
+                                 4e9) == plain
+
+    # End to end: a refresh-enabled alone baseline recomputes instead
+    # of reusing the refresh-free context's persisted entry.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    settings = ExperimentSettings(accesses_per_core=250, mixes=("mix0",))
+    ExperimentContext(settings).alone_ipc("mcf")
+    second = ExperimentContext(settings, alone_config=refreshed)
+    second.alone_ipc("mcf")
+    with open(second.disk_cache.path) as fh:
+        persisted = json.load(fh)
+    assert len(persisted) == 2
+
+
+def test_disk_cache_two_writers_freshest_wins(tmp_path):
+    """Regression (stale overlay in put_many): a writer holding an old
+    in-memory snapshot must not shadow a value another process
+    persisted after that snapshot was taken."""
+    stale = AloneIpcDiskCache(str(tmp_path))
+    stale.put("shared", 1.0)       # snapshot now holds shared=1.0
+    other = AloneIpcDiskCache(str(tmp_path))
+    other.put("shared", 2.0)       # a second writer updates the file
+    stale.put("unrelated", 3.0)    # must merge, not resurrect 1.0
+    fresh = AloneIpcDiskCache(str(tmp_path))
+    assert fresh.get("shared") == 2.0
+    assert fresh.get("unrelated") == 3.0

@@ -8,8 +8,10 @@ Usage::
         --accesses 120 --cores 2   # replay one (possibly minimized) case
 
 Each seed deterministically draws a case -- a configuration preset
-(round-robin over :func:`repro.sim.config.all_presets`, so any seed
-count >= 17 covers every preset), a synthetic trace set (core count,
+(round-robin over :func:`repro.sim.config.all_presets`, filtered by
+``--backend`` to one memory technology -- the default ``dram`` keeps
+the historical seed-to-preset mapping over the 17 DDR4 presets), a
+synthetic trace set (core count,
 access count, gap/write/locality profile), a channel-frequency grade,
 and occasionally a ``tFAW`` override (disabled, or tightened) -- then
 runs the simulator with command logging and cross-checks four
@@ -86,13 +88,18 @@ class Case:
     accesses: int
     #: ``--refresh`` was given: the density draw skips the None grades.
     refresh: bool = False
+    #: Memory-technology backend of the drawn preset (the ``--backend``
+    #: axis; replay must filter the preset list the same way).
+    backend: str = "dram"
 
     def repro_command(self) -> str:
         """A shell command that replays exactly this case."""
         return (f"PYTHONPATH=src python tools/fuzz_schedules.py "
                 f"--start {self.seed} --seeds 1 "
                 f"--cores {self.cores} --accesses {self.accesses}"
-                + (" --refresh" if self.refresh else ""))
+                + (" --refresh" if self.refresh else "")
+                + (f" --backend {self.backend}"
+                   if self.backend != "dram" else ""))
 
 
 def draw_case(seed: int, presets: Optional[List] = None,
@@ -110,6 +117,7 @@ def draw_case(seed: int, presets: Optional[List] = None,
         accesses=accesses if accesses is not None
         else rng.randint(80, 280),
         refresh=refresh,
+        backend=preset.backend,
     )
 
 
@@ -126,11 +134,26 @@ def build_config(case: Case, presets: Optional[List] = None):
     if tfaw is not None:
         config = replace(config, tfaw_ns=tfaw,
                          name=f"{config.name}+tFAW{tfaw:g}ns")
+    # Draw the refresh grade and policy unconditionally so the rng
+    # stream (and thus every other draw) is identical across backends;
+    # only *application* is gated on the technology's capability.
     density = rng.choice(REFRESH_DENSITIES if case.refresh
                          else REFRESH_GRADES)
+    from repro.controller.scheduler import REFRESH_POLICIES
+    policy = rng.choice(REFRESH_POLICIES)
     if density is not None:
-        from repro.controller.scheduler import REFRESH_POLICIES
-        policy = rng.choice(REFRESH_POLICIES)
+        from repro.dram.backends import get_backend
+        tech = get_backend(config.backend)
+        if not tech.refresh_capable:
+            density = None  # e.g. PCM: the case runs refresh-free
+        elif density not in tech.refresh_grades_ns:
+            # Map a DDR4-only grade onto one the technology ships
+            # (deterministically, by the grade's position in the draw
+            # tuple -- str hashes are salted per process).
+            grades = sorted(tech.refresh_grades_ns)
+            density = grades[REFRESH_DENSITIES.index(density)
+                             % len(grades)]
+    if density is not None:
         config = replace(config, refresh_density=density,
                          refresh_policy=policy,
                          name=f"{config.name}+ref-{policy}-{density}")
@@ -312,13 +335,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="force DRAM refresh on in every case "
                              "(density grade and policy still drawn "
                              "per seed) instead of the default "
-                             "half-on/half-off draw")
+                             "half-on/half-off draw; refresh-free "
+                             "technologies (pcm_palp) ignore the draw")
+    parser.add_argument("--backend", default="dram",
+                        choices=("dram", "pcm_palp", "gddr5", "all"),
+                        help="restrict the preset round-robin to one "
+                             "memory-technology backend (default dram, "
+                             "which preserves the historical "
+                             "seed-to-preset mapping); 'all' cycles "
+                             "through every preset")
     args = parser.parse_args(argv)
     presets = cfgs.all_presets()
+    if args.backend != "all":
+        presets = [p for p in presets if p.backend == args.backend]
     if args.config is not None:
         presets = [p for p in presets if p.name == args.config]
         if not presets:
-            parser.error(f"unknown config {args.config!r}; known: "
+            parser.error(f"unknown config {args.config!r} for backend "
+                         f"{args.backend!r}; known: "
                          + ", ".join(p.name for p in cfgs.all_presets()))
     failures = run_seeds(args.start, args.seeds, presets,
                          cores=args.cores, accesses=args.accesses,
