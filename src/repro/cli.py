@@ -166,6 +166,15 @@ def cmd_stats(args) -> None:
           f"{result.route_cache_clears} oldest-half evictions; "
           f"trace memo: {memo['size']} entries, "
           f"{memo['evictions']} oldest-half evictions")
+    if result.rounds:
+        from repro.sim.shards import lookahead_memo_stats
+        la = lookahead_memo_stats()
+        print(f"sharded loop: {result.rounds} sweeps, horizons "
+              f"{result.horizons_reused} reused / "
+              f"{result.horizons_recomputed} recomputed, "
+              f"{result.stats.peek_reuses} peek reuses; lookahead "
+              f"memo: {la['size']} entries, {la['hits']} hits, "
+              f"{la['misses']} misses")
     if args.json:
         with open(args.json, "w") as fh:
             report.write_json(fh)
@@ -207,7 +216,8 @@ def cmd_profile(args) -> None:
     report = profile_run(_cell_config(args), args.mix,
                          accesses=args.accesses,
                          fragmentation=args.fragmentation,
-                         seed=args.seed, incremental=incremental)
+                         seed=args.seed, incremental=incremental,
+                         shards=getattr(args, "shards", None))
     print(report.format_table(limit=args.limit, sort=args.sort), end="")
     if args.output:
         report.dump(args.output)

@@ -55,6 +55,10 @@ class ControllerStats:
     peeks: int = 0
     candidates_built: int = 0
     candidates_examined: int = 0
+    #: :meth:`ChannelController.cached_peek` calls answered from the
+    #: mutation-keyed cache without re-running the scheduler.  Perf
+    #: counter like :attr:`peeks` -- never part of the digest.
+    peek_reuses: int = 0
 
     def merge(self, other: "ControllerStats") -> None:
         self.commands_issued += other.commands_issued
@@ -68,6 +72,7 @@ class ControllerStats:
         self.peeks += other.peeks
         self.candidates_built += other.candidates_built
         self.candidates_examined += other.candidates_examined
+        self.peek_reuses += other.peek_reuses
 
 
 class ChannelController:
@@ -97,6 +102,17 @@ class ChannelController:
         #: (:mod:`repro.sim.shards`) uses it for wake-on-room parking;
         #: the classic loop keeps using :meth:`commit`'s return value.
         self.on_retire = None
+        #: Mutation-keyed peek cache (:meth:`cached_peek`): the latest
+        #: proposal plus the ``(scheduler.mutations, now)`` key it was
+        #: computed under.  Valid across barrier rounds of the sharded
+        #: loop: a shard whose queues and bank state were untouched at
+        #: a round boundary skips the scheduler entirely.
+        self._peek_mutations = -1
+        self._peek_now = -1
+        self._peek_value = None
+        #: Cache hits (perf counter, mirrored into :attr:`stats` at
+        #: result collection).
+        self.peek_reuses = 0
 
     # -- admission ---------------------------------------------------------
 
@@ -143,6 +159,28 @@ class ChannelController:
         """The command this channel would issue next, or None if idle."""
         return self.scheduler.best(now)
 
+    def cached_peek(self, now: int) -> Optional[Candidate]:
+        """Like :meth:`peek`, but memoised on channel state.
+
+        The answer is a pure function of the queues, the bank FSMs and
+        ``now``; the scheduler bumps :attr:`Scheduler.mutations` on
+        every change notification, so ``(mutations, now)`` is a sound
+        cache key (held as two ints -- this sits on the sharded loop's
+        innermost path).  The cache holds only the *latest* proposal
+        (the scheduler reuses one scratch :class:`Candidate`, so older
+        returns are overwritten in place anyway -- exactly the contract
+        the sharded loop's per-shard cache already relied on).
+        """
+        mutations = self.scheduler.mutations
+        if mutations == self._peek_mutations and now == self._peek_now:
+            self.peek_reuses += 1
+            return self._peek_value
+        value = self.scheduler.best(now)
+        self._peek_mutations = mutations
+        self._peek_now = now
+        self._peek_value = value
+        return value
+
     def collect_perf_counters(self) -> None:
         """Copy the scheduler's perf counters into :attr:`stats`.
 
@@ -154,6 +192,7 @@ class ChannelController:
         self.stats.peeks = scheduler.peeks
         self.stats.candidates_built = scheduler.candidates_built
         self.stats.candidates_examined = scheduler.candidates_examined
+        self.stats.peek_reuses = self.peek_reuses
         self.stats.write_cancels = self.channel.write_cancels
 
     def commit(self, candidate: Candidate) -> List[Transaction]:

@@ -503,6 +503,13 @@ class Scheduler:
         #: reference path examines every rebuilt candidate per peek; the
         #: table path examines one pre-reduced winner per (bank, class).
         self.candidates_examined = 0
+        #: Monotone mutation counter: bumped by every change
+        #: notification (enqueue, retire, bank FSM change), i.e.
+        #: whenever a fresh :meth:`best` could answer differently.
+        #: :meth:`ChannelController.cached_peek` keys its cache on it,
+        #: so a peek is recomputed exactly when the queues or bank
+        #: state were touched since the previous one.
+        self.mutations = 0
         # -- incremental state ------------------------------------------
         self._seq = 0
         #: Whether queue membership changed since the last peek.  The
@@ -562,6 +569,7 @@ class Scheduler:
         if txn.seq < 0:
             txn.seq = self._seq
             self._seq += 1
+        self.mutations += 1
         self._queues_changed = True
         if self.refresh is not None:
             self.refresh._busy = None
@@ -574,6 +582,7 @@ class Scheduler:
 
     def note_remove(self, txn: Transaction) -> None:
         """A column command retired ``txn``; drop it from its bank."""
+        self.mutations += 1
         self._queues_changed = True
         if self.refresh is not None:
             self.refresh._busy = None
@@ -587,6 +596,7 @@ class Scheduler:
 
     def note_bank_change(self, bank_index: int) -> None:
         """A committed command changed this bank's FSM state."""
+        self.mutations += 1
         self._dirty.add(bank_index)
 
     # -- reference path ----------------------------------------------------

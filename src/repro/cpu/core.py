@@ -82,6 +82,14 @@ class TraceCore:
         self._ready_cache: Optional[int] = None
         #: Memoised oldest_incomplete_read(); same invalidation points.
         self._oldest_cache = _STALE
+        #: Monotone state-version counter, bumped exactly where the
+        #: memos above are invalidated (:meth:`pop_request` and
+        #: :meth:`complete_read`).  Everything the sharded loop derives
+        #: from this core -- ready time, trace index, in-flight read
+        #: set, ROB pin -- is a pure function of the version, so its
+        #: per-core horizon contribution is cached against it
+        #: (:meth:`repro.sim.shards.ShardedSimulator._assemble_horizons`).
+        self.version = 0
         self._instr_ps = config.instruction_time_ps
 
     # -- progress ----------------------------------------------------------
@@ -186,6 +194,7 @@ class TraceCore:
         self._index += 1
         self._ready_cache = None
         self._oldest_cache = _STALE
+        self.version += 1
         return entry
 
     def instruction_index_of_last_request(self) -> int:
@@ -209,6 +218,7 @@ class TraceCore:
                     self._dep_read_completion = completion_time
                 self._ready_cache = None
                 self._oldest_cache = _STALE
+                self.version += 1
                 return
         raise ValueError(
             f"no outstanding read at instruction {instruction_index}")

@@ -109,9 +109,12 @@ class SystemConfig:
     #: sub-bank's accesses (per-bank on flat-bank organisations).
     refresh_policy: str = "baseline"
     #: Execution backend for one simulation: ``"off"`` runs the classic
-    #: global event loop, ``"serial"`` / ``"threads"`` the
-    #: channel-sharded loop (:mod:`repro.sim.shards`).  None keeps the
-    #: module default (:data:`repro.sim.shards.SHARDS_DEFAULT`).  A
+    #: global event loop, ``"serial"`` the channel-sharded sweep driver,
+    #: ``"threads"`` the sharded per-round driver on persistent worker
+    #: threads (:mod:`repro.sim.shards`).  None keeps the module
+    #: default (:data:`repro.sim.shards.SHARDS_DEFAULT`): ``"threads"``
+    #: on free-threaded builds (``sys._is_gil_enabled()`` false),
+    #: ``"serial"`` under the GIL; ``REPRO_SHARDS`` overrides.  A
     #: host-side knob only -- every backend is digest-identical.
     shards: Optional[str] = None
     #: Memory-technology backend supplying the command set, timing-rule

@@ -11,12 +11,15 @@ access routes to another.
 
 This module exploits that structure.  Each :class:`ChannelShard` owns
 one controller plus everything channel-local the classic loop kept
-globally: the peek cache, the wake-on-room parked list, a local arrival
-heap of the cores currently bound to it, and a local clock.  A shard
-retires commands *autonomously* up to its **interaction horizon** -- the
-earliest simulated time at which anything outside the shard could still
-hand it work -- and the main loop degenerates to a cheap barrier that
-computes horizons and forwards cross-channel arrivals between rounds.
+globally: the mutation-keyed peek cache
+(:meth:`~repro.controller.controller.ChannelController.cached_peek`),
+the wake-on-room parked list, a local arrival heap of the cores
+currently bound to it, and a local clock.  A shard retires commands
+*autonomously* up to its **interaction horizon** -- the earliest
+simulated time at which anything outside the shard could still hand it
+work -- and the coordinator degenerates to a cheap sweep that assembles
+horizons from cached per-core contributions and lets cross-channel
+arrivals flow directly between shard heaps.
 
 Correctness argument (property-tested in ``tests/sim/test_shards.py``,
 digest-proven against the classic loop on every preset and under the
@@ -38,57 +41,64 @@ differential fuzzer):
 2. **Horizons are conservative, via per-core routing lookahead.**
    Since channels couple only through cores, shard ``c``'s horizon is
    the minimum over cores of a lower bound on that core's next
-   *external* arrival at ``c``.  Within one round a shard processes no
-   events outside its own heap, parked list and queues (exports are
-   delivered only at the barrier), so every command channel ``d``
-   commits during the round issues at or after ``d``'s earliest
-   pending event ``S_d`` -- the per-round invariant both bounds below
-   lean on.  The trace fixes every future address
-   -- and therefore each core's whole future channel sequence -- so
-   only timing is dynamic, and two invariants bound it from below.
-   First, consecutive accesses are at least one issue slot apart:
-   ``ready[i+1] >= pop[i] + max(1, floor((1 + gap[i+1]) * instr_ps))``
-   (the access instruction itself occupies a slot; queueing and
-   blocking only delay further), prefix-summed per core into ``P`` so
-   that the arrival at trace index ``m`` is at least the current ready
-   time plus ``P[m+1] - P[cur+1]`` *whatever shards serve the indices
-   in between*.  Second, a blocked core resumes no earlier than the
-   read burst that unblocks it: its pinning read is already queued on
-   a known channel ``d``, the round's commands on ``d`` issue at or
-   after ``S_d``, and a read's data lands ``tCL + burst`` after its
-   CAS -- so the unblock time is at least ``min(S_d + tCL_d +
-   burst_d)`` over channels holding one of the core's outstanding
-   reads.  A core *parked* on a full queue gets the same lift: its
-   first access cannot pop before the column commit that wakes it, so
-   its base rises from its ready time to at least its home channel's
-   ``S_d``.  The contribution of core ``k`` to channel ``c`` is then
-   that base plus the ``P``-distance to ``k``'s first index routed to
-   ``c`` -- where for a core currently *bound to* ``c`` the first
-   external return is the first ``c``-index after its next channel
-   switch (everything before it is handled in-shard, in ready order).
-   One exception pierces that in-shard assumption: a bound core can
-   *block mid-round* behind a read a foreign channel still holds, and
-   its unblock is then delivered by that foreign shard -- an external
-   arrival back at the home channel before any channel switch.  So a
-   ready core with outstanding reads on foreign channels also clamps
-   its home channel's horizon to ``min(S_d + tCL_d + burst_d)`` over
-   those channels (never below ``ready + 1``): the unblocking data
-   burst cannot land earlier.  The clamp is *skipped* when no block
-   is possible before the core's next channel switch: every access
-   in the pre-switch window routes home, so unless the oldest
-   in-flight read can pin the ROB at the window's last entry (or a
-   ``depends`` entry pins on a pre-window read -- conservatively
-   treated as blockable), any block in the window resolves in-shard
-   (:meth:`ShardedSimulator._can_block_before_switch`).
+   *external* arrival at ``c``.  The bound is assembled from the
+   vector ``S`` of each shard's earliest pending event time, and it
+   remains valid from the moment of assembly on because ``S`` is
+   maintained exactly: a shard's entry is refreshed after every run it
+   takes, and a cross-channel arrival materialised into a target heap
+   lowers the target's entry on the spot.  Every command channel ``d``
+   commits after an assembly therefore issues at or after the ``S_d``
+   that assembly read -- the invariant both bounds below lean on.  The
+   trace fixes every future address -- and therefore each core's whole
+   future channel sequence -- so only timing is dynamic, and two
+   invariants bound it from below.  First, consecutive accesses are at
+   least one issue slot apart: ``ready[i+1] >= pop[i] + max(1,
+   floor((1 + gap[i+1]) * instr_ps))`` (the access instruction itself
+   occupies a slot; queueing and blocking only delay further),
+   prefix-summed per core into ``P`` so that the arrival at trace
+   index ``m`` is at least the current ready time plus ``P[m+1] -
+   P[cur+1]`` *whatever shards serve the indices in between*.  Second,
+   a blocked core resumes no earlier than the read burst that unblocks
+   it: its pinning read is already queued on a known channel ``d``,
+   later commands on ``d`` issue at or after ``S_d``, and a read's
+   data lands ``tCL + burst`` after its CAS -- so the unblock time is
+   at least ``min(S_d + tCL_d + burst_d)`` over channels holding one
+   of the core's outstanding reads.  A core *parked* on a full queue
+   gets the same lift: its first access cannot pop before the column
+   commit that wakes it, so its base rises from its ready time to at
+   least its home channel's ``S_d``.  The contribution of core ``k``
+   to channel ``c`` is then that base plus the ``P``-distance to
+   ``k``'s first index routed to ``c`` -- where for a core currently
+   *bound to* ``c`` the first external return is the first ``c``-index
+   after its next channel switch (everything before it is handled
+   in-shard, in ready order).  One exception pierces that in-shard
+   assumption: a bound core can *block mid-round* behind a read a
+   foreign channel still holds, and its unblock is then delivered by
+   that foreign shard -- an external arrival back at the home channel
+   before any channel switch.  So a ready core with outstanding reads
+   on foreign channels also clamps its home channel's horizon to
+   ``min(S_d + tCL_d + burst_d)`` over those channels (never below
+   ``ready + 1``): the unblocking data burst cannot land earlier.  The
+   clamp is *skipped* when no block is possible before the core's next
+   channel switch: every access in the pre-switch window routes home,
+   so unless the oldest in-flight read can pin the ROB at the window's
+   last entry (or a ``depends`` entry pins on a pre-window read --
+   conservatively treated as blockable), any block in the window
+   resolves in-shard (:meth:`ShardedSimulator._can_block_before_switch`).
    ``H_c`` is the minimum over cores; the shard processes local
    arrivals and commands with time *strictly below* ``H_c``, which
    keeps same-instant tie-breaks (arrival-before-command, core-id
-   order) out of reach.  Progress is guaranteed: every contribution
-   to the shard owning the globally earliest event ``m`` exceeds
-   ``m`` by at least one step -- a heap-resident core's ready time is
-   itself a pending event (so at least ``m``, and external distances
-   are positive), while parked and blocked cores are lifted to at
-   least some channel's ``S_d >= m`` -- so that shard always runs.
+   order) out of reach.  An arrival that *is* materialised in a
+   shard's heap is no longer bounded by the horizon at all -- it is an
+   exact local event, processed in (time, core-id) order like any
+   other -- which is what lets the serial driver deliver exports
+   directly instead of holding them for a barrier.  Progress is
+   guaranteed: every contribution to the shard owning the globally
+   earliest event ``m`` exceeds ``m`` by at least one step -- a
+   heap-resident core's ready time is itself a pending event (so at
+   least ``m``, and external distances are positive), while parked and
+   blocked cores are lifted to at least some channel's ``S_d >= m`` --
+   so that shard always runs.
 
 3. **Completions never stale a tracked core.**  A core that is ready
    (heap or parked) computed its ready time without the still-pending
@@ -98,25 +108,50 @@ differential fuzzer):
    therefore always fresh -- the classic loop's lazy stale-drop becomes
    a defensive assertion here.
 
-Backends: ``serial`` runs the shards one after another inside a single
-thread -- the win is purely algorithmic (no per-command global peek
-scan, smaller per-shard heaps, long uninterrupted command runs) --
-while ``threads`` executes each round's shards on a thread pool.  The
-threads backend is digest-identical (shards touch disjoint channel
-state; the rare shared object, a core receiving a completion from a
-foreign channel, is guarded by a per-core lock) but only yields
-wall-clock speedups on free-threaded builds; under the GIL it is a
-correctness demonstrator for the horizon protocol.
+**Incremental horizon maintenance.**  Everything a core contributes to
+the horizon vector is a pure function of its own state (trace index,
+ready time, in-flight read set, ROB pin) plus the live ``S`` vector.
+:class:`~repro.cpu.core.TraceCore` bumps a version counter at exactly
+the two points that state can change (``pop_request`` /
+``complete_read``), so the coordinator caches one *contribution
+record* per core -- the static per-channel bounds for a ready core,
+the distance tables and channel sets for the ``S``-dependent parked /
+blocked / mid-round-clamp terms -- and rebuilds it only when the
+version moved (:meth:`ShardedSimulator._assemble_horizons`).  The
+original full recomputation survives verbatim as an oracle
+(:meth:`ShardedSimulator._horizons_full`), asserted equal on every
+assembly when ``REPRO_SHARDS_CHECK=1`` (one fuzzer lane in CI runs
+with it on; ``horizons_recomputed`` / ``horizons_reused`` count the
+cache's work).  The per-core routing lookahead tables themselves are
+memoised across simulator instances, keyed by trace content hash and
+config digest (:func:`lookahead_memo_stats`).
+
+Backends: ``serial`` is a sweep driver -- shards are visited in
+increasing order of their earliest pending event, horizons are
+re-assembled from the cached contributions as ``S`` advances
+*within* the sweep, and exports land directly in the target heap --
+so one sweep does the run-ahead that previously took several barrier
+rounds.  ``threads`` keeps the strict per-round barrier (shards run
+concurrently, so horizons must all derive from round-start ``S`` and
+exports are buffered to the barrier) on *persistent* worker threads
+parked on a condition variable, one per channel, instead of per-round
+pool submissions.  It is digest-identical (shards touch disjoint
+channel state; the rare shared object, a core receiving a completion
+from a foreign channel, is guarded by a per-core lock) but only
+yields wall-clock speedups on free-threaded builds -- which is why
+the default backend is picked by ``sys._is_gil_enabled()``: ``threads``
+when the GIL is off, ``serial`` otherwise.
 """
 
 from __future__ import annotations
 
 import heapq
 import os
+import sys
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Tuple
+from array import array
+from typing import Dict, List, Optional, Tuple
 
 from repro.controller.controller import ChannelController
 from repro.controller.transaction import Transaction, TransactionKind
@@ -130,14 +165,37 @@ from repro.sim.simulator import (
 )
 
 #: Recognised execution backends for one simulation: ``off`` keeps the
-#: classic global event loop, ``serial`` runs the shards one after
-#: another in-thread, ``threads`` runs each round's shards on a pool.
+#: classic global event loop, ``serial`` runs the sweep driver
+#: in-thread, ``threads`` runs each round's shards on persistent
+#: worker threads.
 SHARD_MODES = ("off", "serial", "threads")
+
+
+def _free_threaded() -> bool:
+    """True on a CPython build currently running without the GIL.
+
+    ``sys._is_gil_enabled`` exists from CPython 3.13 on; older builds
+    (always GIL-ful) simply lack the probe.
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return probe is not None and not probe()
+
+
+def _default_shard_mode() -> str:
+    """Backend to use when nothing picked one explicitly.
+
+    The ``threads`` backend only beats ``serial`` when shards truly run
+    in parallel, so it is the default exactly on free-threaded builds.
+    """
+    return "threads" if _free_threaded() else "serial"
+
 
 #: Default backend when :attr:`SystemConfig.shards` is ``None``;
 #: overridable via the ``REPRO_SHARDS`` environment variable (the CLI
-#: ``--shards`` flag sets it per invocation).
-SHARDS_DEFAULT = os.environ.get("REPRO_SHARDS", "serial")
+#: ``--shards`` flag sets it per invocation).  Without an override it
+#: is picked per build: ``threads`` on free-threaded CPython,
+#: ``serial`` under the GIL.
+SHARDS_DEFAULT = os.environ.get("REPRO_SHARDS") or _default_shard_mode()
 
 
 def resolve_shard_mode(mode: Optional[str]) -> str:
@@ -148,6 +206,98 @@ def resolve_shard_mode(mode: Optional[str]) -> str:
         raise ValueError(f"unknown shard mode {mode!r}; "
                          f"expected one of {SHARD_MODES}")
     return mode
+
+
+#: Memoised per-core routing lookahead tables, shared across simulator
+#: instances: the tables are a pure function of (trace content, system
+#: config, instruction pacing, channel count) and are only ever read
+#: after construction.  Experiment grids re-simulate the same traces
+#: under many mechanisms, so the O(trace x channels) build is paid once
+#: per (trace, config) instead of once per run.
+_LOOKAHEAD_MEMO: Dict[tuple, tuple] = {}
+#: Entry bound; on overflow the oldest-inserted half is evicted (dict
+#: order is insertion order), mirroring the route-cache policy.
+_LOOKAHEAD_CAPACITY = 256
+_LOOKAHEAD_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def lookahead_memo_stats() -> dict:
+    """Size / hit / miss / eviction counters of the lookahead memo.
+
+    Surfaced by ``repro stats`` next to the route-cache and trace-memo
+    lines; purely diagnostic.
+    """
+    return {"size": len(_LOOKAHEAD_MEMO), **_LOOKAHEAD_COUNTERS}
+
+
+def _lookahead_tables(trace, instr_ps: float,
+                      system: MemorySystem) -> tuple:
+    """The routing lookahead tables for one (trace, system) pair.
+
+    Returns ``(length, chan, ext, blk, switch, iidx, next_dep)`` --
+    see :class:`ShardedSimulator` for what each table means -- from
+    the memo when the identical pair was built before.
+    """
+    n = len(system.controllers)
+    key = (trace.cache_key(), system.config.digest(), repr(instr_ps), n)
+    tables = _LOOKAHEAD_MEMO.get(key)
+    if tables is not None:
+        _LOOKAHEAD_COUNTERS["hits"] += 1
+        return tables
+    _LOOKAHEAD_COUNTERS["misses"] += 1
+    entries = trace.entries
+    length = len(entries)
+    chan = [system.controller_for(e.address)[2] for e in entries]
+    prefix = [0] * (length + 1)
+    for i, e in enumerate(entries):
+        step = int((1 + e.gap) * instr_ps)
+        prefix[i + 1] = prefix[i] + (step if step > 1 else 1)
+    # diff[i]: first index > i routed differently than index i.
+    diff = [length] * length
+    for i in range(length - 2, -1, -1):
+        diff[i] = i + 1 if chan[i + 1] != chan[i] else diff[i + 1]
+    ext = []
+    blk = []
+    for c in range(n):
+        # next_at[i]: first index >= i routed to channel c.
+        next_at = [length] * (length + 1)
+        for i in range(length - 1, -1, -1):
+            next_at[i] = i if chan[i] == c else next_at[i + 1]
+        blk_c = [BLOCKED] * length
+        ext_c = [BLOCKED] * length
+        for i in range(length):
+            m = next_at[i]
+            if m < length:
+                blk_c[i] = prefix[m + 1] - prefix[i + 1]
+            m = next_at[diff[i]] if chan[i] == c else m
+            if m < length:
+                ext_c[i] = prefix[m + 1] - prefix[i + 1]
+        blk.append(array("q", blk_c))
+        ext.append(array("q", ext_c))
+    iidx = [0] * length
+    acc = 0
+    for i, e in enumerate(entries):
+        acc += e.gap + 1
+        iidx[i] = acc
+    next_dep = [length] * (length + 1)
+    for i in range(length - 1, -1, -1):
+        next_dep[i] = i if entries[i].depends else next_dep[i + 1]
+    # Stored as typed ``array('q')`` (BLOCKED = 2**62 fits int64), not
+    # lists: the memo keeps these alive for the whole process, and a
+    # resident list-of-boxed-ints version measurably slowed *every*
+    # phase of the bench -- tens of MB of pointer-chased heap that the
+    # cyclic GC re-scans and the CPU cache keeps missing.  Typed arrays
+    # are 3.5x smaller and invisible to both.
+    tables = (length, array("q", chan), ext, blk, array("q", diff),
+              array("q", iidx), array("q", next_dep))
+    memo = _LOOKAHEAD_MEMO
+    if len(memo) >= _LOOKAHEAD_CAPACITY:
+        from itertools import islice
+        for stale in list(islice(memo, len(memo) // 2)):
+            del memo[stale]
+        _LOOKAHEAD_COUNTERS["evictions"] += 1
+    memo[key] = tables
+    return tables
 
 
 class _NullLock:
@@ -169,15 +319,18 @@ class ChannelShard:
     """One channel's slice of the simulation: controller + core traffic.
 
     Owns the channel-local state the classic loop kept in global
-    structures -- the cached scheduler proposal, the wake-on-room
-    parked list, the arrival heap of cores whose next access routes
-    here -- plus a local clock (the channel's last event time, exact by
-    argument 1 in the module docstring).
+    structures -- the wake-on-room parked list, the arrival heap of
+    cores whose next access routes here -- plus a local clock (the
+    channel's last event time, exact by argument 1 in the module
+    docstring).  Scheduler proposals come from the controller's
+    mutation-keyed :meth:`~repro.controller.controller
+    .ChannelController.cached_peek`, so a shard untouched across a
+    round boundary never re-runs the scheduler.
     """
 
     __slots__ = ("index", "sim", "controller", "now", "heap", "parked",
-                 "parked_ids", "peek_cache", "dirty", "exports",
-                 "debug", "round_max_issue", "parks")
+                 "parked_ids", "exports", "debug", "round_max_issue",
+                 "parks")
 
     def __init__(self, index: int, controller: ChannelController,
                  sim: "ShardedSimulator") -> None:
@@ -192,10 +345,10 @@ class ChannelShard:
         #: Wake-on-room wait list, (ready, core id), original keys.
         self.parked: List[Tuple[int, int]] = []
         self.parked_ids: set = set()
-        self.peek_cache = None
-        self.dirty = True
-        #: Cross-channel arrivals produced this round:
-        #: (ready, core id, target shard index).
+        #: Cross-channel arrivals produced this round.  The threads
+        #: backend buffers them here for barrier delivery; the serial
+        #: sweep delivers directly and only mirrors them here for the
+        #: debug trace.
         self.exports: List[Tuple[int, int, int]] = []
         self.debug = False
         #: Largest issue time committed this round (debug hooks only).
@@ -225,14 +378,13 @@ class ChannelShard:
             self.parked.clear()
 
     def refresh_peek(self):
-        """The channel's pending proposal, recomputed only when dirty."""
-        if self.dirty:
-            self.peek_cache = self.controller.peek(self.now)
-            self.dirty = False
-        return self.peek_cache
+        """The channel's pending proposal (mutation-keyed cache)."""
+        return self.controller.cached_peek(self.now)
 
     def _track(self, ready: int, cid: int) -> None:
-        """Register a core's next arrival: local heap or export.
+        """Register a core's next arrival: local heap, direct delivery
+        to the target shard's heap (serial sweep), or the export buffer
+        (threads barrier).
 
         Called with the core's lock held (threads backend).  Routing
         uses :meth:`TraceCore.next_request_address` -- the address is
@@ -244,6 +396,20 @@ class ChannelShard:
         sim.tracked[cid] = True
         if target == self.index:
             heapq.heappush(self.heap, (ready, cid))
+        elif sim.direct_export:
+            # Safe mid-sweep: a materialised arrival is an exact local
+            # event of the target (module docstring, 2); lowering the
+            # target's earliest-pending entry keeps ``S`` exact.  The
+            # flag tells the sweep driver ``S`` may have *dropped*, so
+            # horizons assembled before this delivery must be redone
+            # before anyone relies on them again.
+            heapq.heappush(sim.shards[target].heap, (ready, cid))
+            sim.exported = True
+            s = sim.s
+            if ready < s[target]:
+                s[target] = ready
+            if self.debug:
+                self.exports.append((ready, cid, target))
         else:
             self.exports.append((ready, cid, target))
 
@@ -255,7 +421,6 @@ class ChannelShard:
             self.now = t
         if self.debug and t > self.round_max_issue:
             self.round_max_issue = t
-        self.dirty = True
         if completed:
             sim = self.sim
             cores, locks, tracked = sim.cores, sim.locks, sim.tracked
@@ -293,15 +458,27 @@ class ChannelShard:
         committed = 0
         heap = self.heap
         controller = self.controller
+        scheduler = controller.scheduler
         sim = self.sim
         cores, locks, tracked = sim.cores, sim.locks, sim.tracked
         system = sim.system
-        heappop, heappush = heapq.heappop, heapq.heappush
+        heappop = heapq.heappop
         while True:
-            if self.dirty:
-                self.peek_cache = controller.peek(self.now)
-                self.dirty = False
-            cand = self.peek_cache
+            # Inlined ChannelController.cached_peek -- this is the
+            # innermost loop of the whole sharded simulator, and the
+            # method-call version showed up in profiles.  Semantics
+            # (and the scheduler ``best()`` call count the bench pins)
+            # are identical.
+            mutations = scheduler.mutations
+            if (mutations == controller._peek_mutations
+                    and self.now == controller._peek_now):
+                cand = controller._peek_value
+                controller.peek_reuses += 1
+            else:
+                cand = scheduler.best(self.now)
+                controller._peek_mutations = mutations
+                controller._peek_now = self.now
+                controller._peek_value = cand
             cmd_time = cand.issue_time if cand is not None else BLOCKED
             enqueued = False
             while heap:
@@ -349,7 +526,6 @@ class ChannelShard:
                     if not entry.is_write:
                         sim.inflight[cid][self.index] += 1
                     self.now = t
-                    self.dirty = True
                     nxt = core.next_request_time()
                     if nxt < BLOCKED:
                         self._track(nxt, cid)
@@ -370,22 +546,38 @@ class ChannelShard:
 class ShardedSimulator:
     """Channel-sharded runner: digest-identical to the classic loop.
 
-    ``backend`` is ``"serial"`` (shards advance one after another in
-    this thread) or ``"threads"`` (each round's runnable shards execute
-    on a pool, one worker per channel, with the barrier at horizon
-    points).  ``debug_trace``, when a list, receives one record per
-    round -- ``{"s", "horizons", "max_issue", "exports"}`` -- consumed
-    by the horizon property tests; leave ``None`` in production.
+    ``backend`` is ``"serial"`` (the sweep driver: shards are visited
+    in increasing earliest-event order with horizons re-assembled as
+    ``S`` advances, exports delivered directly) or ``"threads"`` (each
+    round's runnable shards execute on persistent worker threads, one
+    per channel, with the barrier at horizon points).
+
+    ``check_horizons`` arms the full-recompute horizon oracle: every
+    incremental assembly is compared against
+    :meth:`_horizons_full` and any divergence raises.  ``None``
+    defers to the ``REPRO_SHARDS_CHECK`` environment variable (a CI
+    fuzzer lane runs with it set).
+
+    ``debug_trace``, when a list, receives one record per shard visit
+    -- ``{"shard", "s", "horizons", "max_issue", "exports"}`` --
+    consumed by the horizon property tests; leave ``None`` in
+    production.
     """
 
     def __init__(self, system: MemorySystem, cores: List[TraceCore],
                  backend: str = "serial",
-                 debug_trace: Optional[list] = None) -> None:
+                 debug_trace: Optional[list] = None,
+                 check_horizons: Optional[bool] = None) -> None:
         if backend not in ("serial", "threads"):
             raise ValueError(f"unknown shard backend {backend!r}")
         self.system = system
         self.cores = cores
         self.backend = backend
+        if check_horizons is None:
+            check_horizons = bool(os.environ.get("REPRO_SHARDS_CHECK"))
+        #: Compare every incremental horizon assembly against the
+        #: full-recompute oracle (raises on divergence).
+        self.check_horizons = check_horizons
         #: Whether each core currently has an arrival entry somewhere
         #: (a shard heap, a parked list, or an export buffer).  Guards
         #: completion handling against double-tracking.
@@ -399,16 +591,53 @@ class ShardedSimulator:
             self.locks = [_NULL_LOCK] * len(cores)
         self.shards = [ChannelShard(i, c, self)
                        for i, c in enumerate(system.controllers)]
+        n = len(self.shards)
+        self._n = n
+        #: Exports go straight into the target heap (serial sweep) vs
+        #: buffered per shard until the barrier (concurrent threads
+        #: must not push into each other's heaps mid-round).
+        self.direct_export = backend != "threads" or n < 2
         self.debug_trace = debug_trace
         if debug_trace is not None:
             for shard in self.shards:
                 shard.debug = True
-        #: Barrier rounds executed (perf counter, not digest-visible).
+        #: Live earliest-pending-event vector ``S``, one entry per
+        #: shard, maintained exactly across the run (refreshed after a
+        #: shard runs, lowered on direct export delivery).
+        self.s: List[int] = []
+        #: Set by :meth:`ChannelShard._track` when a direct export was
+        #: delivered (an entry of ``S`` may have dropped); the sweep
+        #: driver re-assembles horizons before trusting them again.
+        self.exported = False
+        #: Coordinator sweeps/rounds executed (perf counter).
         self.rounds = 0
+        #: Horizon-contribution cache work (perf counters): records
+        #: rebuilt because the core's version moved vs. reused as-is.
+        self.horizons_recomputed = 0
+        self.horizons_reused = 0
+        #: Wall-clock split of the coordinator's work: horizon
+        #: assembly + clamping vs. time inside :meth:`ChannelShard.run`
+        #: (the bench reports the per-phase breakdown).
+        self.horizon_time_s = 0.0
+        self.retire_time_s = 0.0
+        #: Per-core contribution records keyed by
+        #: :attr:`TraceCore.version` (see :meth:`_assemble_horizons`).
+        #: Held as flat preallocated arrays mutated in place: a rebuild
+        #: allocates nothing, so the cache never feeds the cyclic GC's
+        #: allocation counter (surviving per-rebuild tuples used to
+        #: trip a collection every ~700 rebuilds, and the pauses landed
+        #: in the middle of the retire loop).
+        self._core_versions: List[int] = [-1] * len(cores)
+        self._c_tag: List[int] = [0] * len(cores)
+        self._c_ready: List[int] = [0] * len(cores)
+        self._c_home: List[int] = [0] * len(cores)
+        self._c_can_block: List[bool] = [False] * len(cores)
+        self._c_bound: List[List[int]] = [[BLOCKED] * n for _ in cores]
+        self._c_clamp: List[List[bool]] = [[False] * n for _ in cores]
         #: Outstanding (enqueued, not yet completed) reads per core per
-        #: channel: the unblock bound in :meth:`_horizons` needs to
-        #: know which channels could be pinning a blocked core's ROB.
-        n = len(system.controllers)
+        #: channel: the unblock bound in :meth:`_assemble_horizons`
+        #: needs to know which channels could be pinning a blocked
+        #: core's ROB.
         self.inflight: List[List[int]] = [[0] * n for _ in cores]
         #: Minimum CAS-to-data latency per channel: a read's data burst
         #: ends ``tCL + burst`` after its column command.
@@ -428,74 +657,290 @@ class ShardedSimulator:
         #   _blk[k][c][i]  the same distance counting index i itself
         #                  (a blocked core's very next access is
         #                  already external everywhere).
-        # BLOCKED marks "never arrives at c again".
+        # BLOCKED marks "never arrives at c again".  Builds are
+        # memoised per (trace, config) -- see :func:`_lookahead_tables`.
         self._len: List[int] = []
-        self._chan: List[List[int]] = []
-        self._ext: List[List[List[int]]] = []
-        self._blk: List[List[List[int]]] = []
+        self._chan: List[array] = []
+        self._ext: List[List[array]] = []
+        self._blk: List[List[array]] = []
         # Mid-round-block necessity tables (see _can_block_before_switch):
         #   _switch[k][i]   first index > i routed to a different channel;
         #   _iidx[k][i]     instruction index assigned to entry i;
         #   _next_dep[k][i] first index >= i with a ``depends`` entry.
-        self._switch: List[List[int]] = []
-        self._iidx: List[List[int]] = []
-        self._next_dep: List[List[int]] = []
+        self._switch: List[array] = []
+        self._iidx: List[array] = []
+        self._next_dep: List[array] = []
         self._rob: List[int] = [core.config.rob_size for core in cores]
         for core in cores:
-            entries = core.trace.entries
-            length = len(entries)
-            chan = [system.controller_for(e.address)[2] for e in entries]
-            instr = core.config.instruction_time_ps
-            prefix = [0] * (length + 1)
-            for i, e in enumerate(entries):
-                step = int((1 + e.gap) * instr)
-                prefix[i + 1] = prefix[i] + (step if step > 1 else 1)
-            # diff[i]: first index > i routed differently than index i.
-            diff = [length] * length
-            for i in range(length - 2, -1, -1):
-                diff[i] = i + 1 if chan[i + 1] != chan[i] else diff[i + 1]
-            ext = []
-            blk = []
-            for c in range(n):
-                # next_at[i]: first index >= i routed to channel c.
-                next_at = [length] * (length + 1)
-                for i in range(length - 1, -1, -1):
-                    next_at[i] = i if chan[i] == c else next_at[i + 1]
-                blk_c = [BLOCKED] * length
-                ext_c = [BLOCKED] * length
-                for i in range(length):
-                    m = next_at[i]
-                    if m < length:
-                        blk_c[i] = prefix[m + 1] - prefix[i + 1]
-                    m = next_at[diff[i]] if chan[i] == c else m
-                    if m < length:
-                        ext_c[i] = prefix[m + 1] - prefix[i + 1]
-                blk.append(blk_c)
-                ext.append(ext_c)
+            length, chan, ext, blk, switch, iidx, next_dep = \
+                _lookahead_tables(core.trace,
+                                  core.config.instruction_time_ps,
+                                  system)
             self._len.append(length)
             self._chan.append(chan)
             self._ext.append(ext)
             self._blk.append(blk)
-            self._switch.append(diff)
-            iidx = [0] * length
-            acc = 0
-            for i, e in enumerate(entries):
-                acc += e.gap + 1
-                iidx[i] = acc
+            self._switch.append(switch)
             self._iidx.append(iidx)
-            next_dep = [length] * (length + 1)
-            for i in range(length - 1, -1, -1):
-                next_dep[i] = i if entries[i].depends else next_dep[i + 1]
             self._next_dep.append(next_dep)
 
-    def _horizons(self, s: List[int]) -> List[int]:
-        """Per-shard interaction horizons for one round.
+    # -- horizons ------------------------------------------------------------
+
+    def _contribution(self, k: int, core: TraceCore) -> None:
+        """(Re)fill core ``k``'s cached horizon-contribution record.
+
+        The record pre-evaluates everything about the core's
+        contribution that does not depend on the live ``S`` vector,
+        in flat per-core arrays mutated in place (a rebuild allocates
+        nothing):
+
+        * ``_c_tag[k] == 0`` -- trace exhausted, contributes nothing;
+        * ``_c_tag[k] == 1`` -- a ready core: ``_c_bound[k][c]`` holds
+          the per-channel absolute bound ``ready + ext-distance`` used
+          while the core is not parked (the parked lift re-derives the
+          raw distance as ``bound - ready``), ``_c_clamp[k][c]`` marks
+          the foreign channels holding one of its reads, and
+          ``_c_can_block[k]`` whether the mid-round clamp applies at
+          all;
+        * ``_c_tag[k] == 2`` -- a blocked core: ``_c_clamp[k][c]``
+          marks the channels holding its outstanding reads,
+          ``_c_bound[k][c]`` the blk-table distances.
+
+        Valid exactly while :attr:`TraceCore.version` is unchanged
+        (parked-ness is the one input that moves without a version
+        bump; it is read fresh at assembly).
+        """
+        cur = core.trace_index
+        if cur >= self._len[k]:
+            self._c_tag[k] = 0
+            return
+        n = self._n
+        bound = self._c_bound[k]
+        clamp = self._c_clamp[k]
+        inflight = self.inflight[k]
+        ready = core.next_request_time()
+        if ready < BLOCKED:
+            home = self._chan[k][cur]
+            ext = self._ext[k]
+            any_clamp = False
+            for c in range(n):
+                d = ext[c][cur]
+                bound[c] = ready + d if d < BLOCKED else BLOCKED
+                holds = inflight[c] > 0 and c != home
+                clamp[c] = holds
+                any_clamp = any_clamp or holds
+            self._c_tag[k] = 1
+            self._c_ready[k] = ready
+            self._c_home[k] = home
+            self._c_can_block[k] = any_clamp and \
+                self._can_block_before_switch(k, core, cur)
+            return
+        blk = self._blk[k]
+        for c in range(n):
+            bound[c] = blk[c][cur]
+            clamp[c] = inflight[c] > 0
+        self._c_tag[k] = 2
+
+    def _assemble_horizons(self, s: List[int]) -> List[int]:
+        """Per-shard interaction horizons from cached contributions.
+
+        Semantically identical to the full recomputation
+        (:meth:`_horizons_full`, kept as the oracle and asserted equal
+        on every call under ``check_horizons``), but each core's
+        ``S``-independent terms are only re-derived when that core's
+        version moved -- i.e. when it retired a request or completed a
+        read, which is also the only way it switches channels or
+        between the ready/blocked regimes.
+
+        Dispatches to a straight-line two-channel combine
+        (:meth:`_assemble_horizons_2`) when the system has exactly two
+        shards -- every config in the fig12 grid -- where the generic
+        per-channel loops are pure interpreter overhead.
+        """
+        horizons = (self._assemble_horizons_2(s) if self._n == 2
+                    else self._assemble_horizons_n(s))
+        if self.check_horizons:
+            oracle = self._horizons_full(s)
+            if horizons != oracle:
+                raise AssertionError(
+                    "incremental horizons diverged from the oracle: "
+                    f"incremental={horizons} oracle={oracle} s={s} "
+                    f"indices={[c.trace_index for c in self.cores]}")
+        return horizons
+
+    def _assemble_horizons_2(self, s: List[int]) -> List[int]:
+        """Two-shard combine: scalar horizons, no per-channel loops."""
+        s0, s1 = s
+        latency = self._min_read_latency
+        lat0, lat1 = latency[0], latency[1]
+        shards = self.shards
+        parked0 = shards[0].parked_ids
+        parked1 = shards[1].parked_ids
+        versions = self._core_versions
+        tags = self._c_tag
+        bounds = self._c_bound
+        clamps = self._c_clamp
+        readys = self._c_ready
+        homes = self._c_home
+        can_blocks = self._c_can_block
+        h0 = h1 = BLOCKED
+        recomputed = reused = 0
+        for k, core in enumerate(self.cores):
+            if versions[k] != core.version:
+                self._contribution(k, core)
+                versions[k] = core.version
+                recomputed += 1
+            else:
+                reused += 1
+            tag = tags[k]
+            if tag == 0:
+                continue
+            bound = bounds[k]
+            clamp = clamps[k]
+            b0 = bound[0]
+            b1 = bound[1]
+            if tag == 1:
+                ready = readys[k]
+                home = homes[k]
+                if can_blocks[k]:
+                    unblock = BLOCKED
+                    if clamp[0]:
+                        unblock = s0 + lat0
+                    if clamp[1]:
+                        v = s1 + lat1
+                        if v < unblock:
+                            unblock = v
+                    if unblock < BLOCKED:
+                        if unblock <= ready:
+                            unblock = ready + 1
+                        if home:
+                            if unblock < h1:
+                                h1 = unblock
+                        elif unblock < h0:
+                            h0 = unblock
+                sh = s1 if home else s0
+                if sh > ready and k in (parked1 if home else parked0):
+                    lift = sh - ready
+                    if b0 < BLOCKED:
+                        v = b0 + lift
+                        if v < h0:
+                            h0 = v
+                    if b1 < BLOCKED:
+                        v = b1 + lift
+                        if v < h1:
+                            h1 = v
+                else:
+                    if b0 < h0:
+                        h0 = b0
+                    if b1 < h1:
+                        h1 = b1
+            else:
+                base = BLOCKED
+                if clamp[0]:
+                    base = s0 + lat0
+                if clamp[1]:
+                    v = s1 + lat1
+                    if v < base:
+                        base = v
+                if base >= BLOCKED:  # pragma: no cover - defensive
+                    base = s0 if s0 < s1 else s1
+                if b0 < BLOCKED:
+                    v = base + b0
+                    if v < h0:
+                        h0 = v
+                if b1 < BLOCKED:
+                    v = base + b1
+                    if v < h1:
+                        h1 = v
+        self.horizons_recomputed += recomputed
+        self.horizons_reused += reused
+        return [h0, h1]
+
+    def _assemble_horizons_n(self, s: List[int]) -> List[int]:
+        """Generic combine for any shard count (see dispatch above)."""
+        n = self._n
+        horizons = [BLOCKED] * n
+        latency = self._min_read_latency
+        shards = self.shards
+        versions = self._core_versions
+        tags = self._c_tag
+        bounds = self._c_bound
+        clamps = self._c_clamp
+        readys = self._c_ready
+        homes = self._c_home
+        can_blocks = self._c_can_block
+        parked_sets = [shard.parked_ids for shard in shards]
+        rng = range(n)
+        recomputed = reused = 0
+        for k, core in enumerate(self.cores):
+            if versions[k] != core.version:
+                self._contribution(k, core)
+                versions[k] = core.version
+                recomputed += 1
+            else:
+                reused += 1
+            tag = tags[k]
+            if tag == 0:
+                continue
+            bound = bounds[k]
+            clamp = clamps[k]
+            if tag == 1:
+                ready = readys[k]
+                home = homes[k]
+                if can_blocks[k]:
+                    unblock = BLOCKED
+                    for d in rng:
+                        if clamp[d]:
+                            v = s[d] + latency[d]
+                            if v < unblock:
+                                unblock = v
+                    if unblock < BLOCKED:
+                        if unblock <= ready:
+                            unblock = ready + 1
+                        if unblock < horizons[home]:
+                            horizons[home] = unblock
+                if s[home] > ready and k in parked_sets[home]:
+                    lift = s[home] - ready
+                    for c in rng:
+                        v = bound[c]
+                        if v < BLOCKED:
+                            v += lift
+                            if v < horizons[c]:
+                                horizons[c] = v
+                else:
+                    for c in rng:
+                        v = bound[c]
+                        if v < horizons[c]:
+                            horizons[c] = v
+            else:
+                base = BLOCKED
+                for d in rng:
+                    if clamp[d]:
+                        v = s[d] + latency[d]
+                        if v < base:
+                            base = v
+                if base >= BLOCKED:  # pragma: no cover - defensive
+                    base = min(s)
+                for c in rng:
+                    dist = bound[c]
+                    if dist < BLOCKED:
+                        v = base + dist
+                        if v < horizons[c]:
+                            horizons[c] = v
+        self.horizons_recomputed += recomputed
+        self.horizons_reused += reused
+        return horizons
+
+    def _horizons_full(self, s: List[int]) -> List[int]:
+        """Full per-round horizon recomputation (the oracle).
 
         ``s`` holds each shard's earliest pending event time.  For
         every live core, lower-bound its next *external* arrival at
         each channel (module docstring, 2) and take the per-channel
         minimum.  A shard may process local events strictly below its
-        horizon.
+        horizon.  This is the original, cache-free computation;
+        :meth:`_assemble_horizons` must match it exactly and is
+        checked against it under ``REPRO_SHARDS_CHECK=1``.
         """
         n = len(self.shards)
         horizons = [BLOCKED] * n
@@ -600,12 +1045,44 @@ class ShardedSimulator:
 
     # -- main loop -----------------------------------------------------------
 
+    def _refresh_s(self, i: int) -> None:
+        """Re-derive shard ``i``'s earliest pending event after it ran."""
+        shard = self.shards[i]
+        controller = shard.controller
+        # Inlined ChannelController.cached_peek (one call per shard
+        # visit): :meth:`ChannelShard.run` always returns right after
+        # a peek, so this is a guaranteed cache hit unless the shard
+        # never ran.
+        if (controller._peek_mutations == controller.scheduler.mutations
+                and controller._peek_now == shard.now):
+            cand = controller._peek_value
+            controller.peek_reuses += 1
+        else:
+            cand = controller.cached_peek(shard.now)
+        t = cand.issue_time if cand is not None else BLOCKED
+        heap = shard.heap
+        if heap and heap[0][0] < t:
+            t = heap[0][0]
+        self.s[i] = t
+
+    def _check_done(self) -> bool:
+        """Termination / deadlock split once no shard has an event."""
+        if all(core.done for core in self.cores):
+            return True
+        if any(shard.parked_ids for shard in self.shards):
+            raise DeadlockError(
+                "cores parked on a full queue but no channel "
+                "has a command pending -- lost a wake-on-room "
+                "signal?")
+        raise DeadlockError(
+            "no events but cores unfinished -- lost a "
+            "completion?")
+
     def run(self, max_commands: int = 1 << 31) -> SimulationResult:
         wall_start = time.perf_counter()
         shards = self.shards
         system = self.system
         tracked = self.tracked
-        n = len(shards)
         for core in self.cores:
             ready = core.next_request_time()
             if ready < BLOCKED:
@@ -615,33 +1092,67 @@ class ShardedSimulator:
                 shards[target].heap.append((ready, core.core_id))
         for shard in shards:
             heapq.heapify(shard.heap)
+        del self.s[:]
+        self.s.extend(0 for _ in shards)
+        for i in range(len(shards)):
+            self._refresh_s(i)
+        if self.backend == "threads" and len(shards) > 1:
+            self._run_threads(max_commands)
+        else:
+            self._run_serial(max_commands)
+        result = collect_result(system, self.cores)
+        result.wall_time_s = time.perf_counter() - wall_start
+        result.rounds = self.rounds
+        result.horizons_recomputed = self.horizons_recomputed
+        result.horizons_reused = self.horizons_reused
+        result.horizon_time_s = self.horizon_time_s
+        result.retire_time_s = self.retire_time_s
+        return result
+
+    def _run_serial(self, max_commands: int) -> None:
+        """The sweep driver (module docstring: run-ahead coalescing).
+
+        Each sweep visits the shards in increasing order of their
+        earliest pending event.  Horizons are (re-)assembled from the
+        cached contributions whenever ``S`` moved since the previous
+        assembly -- so a shard visited late in the sweep already sees
+        the run-ahead earlier visits unlocked, coalescing what the
+        per-round barrier driver did across several rounds -- and
+        exports are delivered directly into the target heap the moment
+        they are produced (sound by module docstring, 2).
+        """
+        shards = self.shards
+        n = len(shards)
+        s = self.s
+        debug = self.debug_trace is not None
+        perf = time.perf_counter
+        # Refresh-free channels (the whole fig12 grid) never produce a
+        # refresh-deadline clamp; skip the per-visit call up front.
+        refresh_on = [shard.controller.scheduler.refresh is not None
+                      for shard in shards]
         total = 0
-        pool = (ThreadPoolExecutor(max_workers=n)
-                if self.backend == "threads" and n > 1 else None)
-        try:
-            while True:
-                # -- barrier: earliest pending event per shard ------------
-                s: List[int] = []
-                for shard in shards:
-                    cand = shard.refresh_peek()
-                    t = cand.issue_time if cand is not None else BLOCKED
-                    heap = shard.heap
-                    if heap and heap[0][0] < t:
-                        t = heap[0][0]
-                    s.append(t)
-                if min(s) >= BLOCKED:
-                    if all(core.done for core in self.cores):
-                        break
-                    if any(shard.parked_ids for shard in shards):
-                        raise DeadlockError(
-                            "cores parked on a full queue but no channel "
-                            "has a command pending -- lost a wake-on-room "
-                            "signal?")
-                    raise DeadlockError(
-                        "no events but cores unfinished -- lost a "
-                        "completion?")
-                # -- horizons from per-core routing lookahead -------------
-                horizons = ([BLOCKED] if n == 1 else self._horizons(s))
+        while True:
+            if min(s) >= BLOCKED:
+                if self._check_done():
+                    return
+            self.rounds += 1
+            if n == 2:
+                order = (0, 1) if s[0] <= s[1] else (1, 0)
+            elif n == 1:
+                order = (0,)
+            else:
+                order = sorted(range(n), key=s.__getitem__)
+            horizons: Optional[List[int]] = None
+            ran_any = False
+            for i in order:
+                if s[i] >= BLOCKED:
+                    continue
+                if horizons is None:
+                    t0 = perf()
+                    horizons = ([BLOCKED] if n == 1
+                                else self._assemble_horizons(s))
+                    self.horizon_time_s += perf() - t0
+                h = horizons[i]
                 # A pending refresh deadline additionally bounds
                 # run-ahead.  Refresh state is channel-local, so a
                 # shard would schedule its refreshes correctly however
@@ -651,44 +1162,162 @@ class ShardedSimulator:
                 # silently diverging, at one barrier per deadline.
                 # Clamping strictly above the shard's earliest pending
                 # event preserves the progress guarantee.
+                if refresh_on[i]:
+                    bound = shards[i].controller.refresh_horizon()
+                    if bound is not None and s[i] < bound < h:
+                        h = bound
+                if s[i] >= h:
+                    continue
+                ran_any = True
+                if debug:
+                    s_before = list(s)
+                    h_list = list(horizons)
+                    h_list[i] = h
+                t1 = perf()
+                total += shards[i].run(h, max_commands - total)
+                self.retire_time_s += perf() - t1
+                self._refresh_s(i)
+                if self.exported:
+                    # A direct export may have *lowered* an entry of
+                    # ``S``; horizons assembled before it are no longer
+                    # conservative.  (A shard merely advancing its own
+                    # entry only grows ``S`` -- the assembly stays a
+                    # valid, if shallower, bound -- so it does not
+                    # force a redo.)
+                    self.exported = False
+                    horizons = None
+                if debug:
+                    shard = shards[i]
+                    self.debug_trace.append({
+                        "shard": i,
+                        "s": s_before,
+                        "horizons": h_list,
+                        "max_issue": shard.round_max_issue,
+                        "exports": list(shard.exports),
+                    })
+                    shard.round_max_issue = -1
+                    shard.exports.clear()
+                if total >= max_commands:
+                    raise CommandBudgetExceeded(
+                        f"stopped after {max_commands} commands "
+                        f"(raise max_commands to simulate further)")
+            if not ran_any:  # pragma: no cover - defensive
+                raise DeadlockError(
+                    "no shard could advance below its horizon -- "
+                    "the lookahead lost the progress guarantee?")
+
+    def _run_threads(self, max_commands: int) -> None:
+        """Per-round barrier driver on persistent worker threads.
+
+        Shards run concurrently within a round, so every horizon must
+        derive from round-start ``S`` and exports are buffered to the
+        barrier -- the protocol of the original driver -- but the
+        per-round pool submission is replaced by one long-lived worker
+        per channel parked on a shared condition variable: the
+        coordinator publishes a generation's task table and waits for
+        the pending count to drain.
+        """
+        shards = self.shards
+        n = len(shards)
+        s = self.s
+        debug = self.debug_trace is not None
+        perf = time.perf_counter
+        refresh_on = [shard.controller.scheduler.refresh is not None
+                      for shard in shards]
+        cond = threading.Condition()
+        state = {"generation": 0, "stop": False, "pending": 0}
+        tasks: List[Optional[Tuple[int, int]]] = [None] * n
+        results: List = [0] * n
+
+        def worker(i: int) -> None:
+            seen = 0
+            shard = shards[i]
+            while True:
+                with cond:
+                    while state["generation"] == seen and \
+                            not state["stop"]:
+                        cond.wait()
+                    if state["stop"]:
+                        return
+                    seen = state["generation"]
+                    task = tasks[i]
+                if task is None:
+                    outcome = 0
+                else:
+                    try:
+                        outcome = shard.run(task[0], task[1])
+                    except BaseException as exc:  # pragma: no cover
+                        outcome = exc
+                with cond:
+                    results[i] = outcome
+                    state["pending"] -= 1
+                    if not state["pending"]:
+                        cond.notify_all()
+
+        workers = [threading.Thread(target=worker, args=(i,),
+                                    name=f"shard-{i}", daemon=True)
+                   for i in range(n)]
+        for w in workers:
+            w.start()
+        total = 0
+        try:
+            while True:
+                # -- barrier: earliest pending event per shard --------
+                t0 = perf()
                 for i in range(n):
+                    self._refresh_s(i)
+                if min(s) >= BLOCKED:
+                    if self._check_done():
+                        return
+                horizons = self._assemble_horizons(s)
+                for i in range(n):
+                    if not refresh_on[i]:
+                        continue
                     bound = shards[i].controller.refresh_horizon()
                     if bound is not None and s[i] < bound < horizons[i]:
                         horizons[i] = bound
-                # -- run every shard with work below its horizon ----------
                 self.rounds += 1
                 remaining = max_commands - total
-                round_commits = 0
-                ran_any = False
-                if pool is not None:
-                    futures = [
-                        (pool.submit(shards[i].run, horizons[i], remaining)
-                         if s[i] < horizons[i] else None)
-                        for i in range(n)]
-                    for future in futures:
-                        if future is not None:
-                            ran_any = True
-                            round_commits += future.result()
-                else:
-                    for i in range(n):
-                        if s[i] < horizons[i] and remaining > round_commits:
-                            ran_any = True
-                            round_commits += shards[i].run(
-                                horizons[i], remaining - round_commits)
-                total += round_commits
-                if not ran_any:  # pragma: no cover - defensive
+                runnable = 0
+                for i in range(n):
+                    if s[i] < horizons[i]:
+                        tasks[i] = (horizons[i], remaining)
+                        runnable += 1
+                    else:
+                        tasks[i] = None
+                self.horizon_time_s += perf() - t0
+                if not runnable:  # pragma: no cover - defensive
                     raise DeadlockError(
                         "no shard could advance below its horizon -- "
                         "the lookahead lost the progress guarantee?")
-                # -- forward cross-channel arrivals -----------------------
-                if self.debug_trace is not None:
-                    self.debug_trace.append({
-                        "s": list(s),
-                        "horizons": list(horizons),
-                        "max_issue": [sh.round_max_issue for sh in shards],
-                        "exports": [list(sh.exports) for sh in shards],
-                    })
-                    for shard in shards:
+                # -- run every shard with work below its horizon ------
+                t1 = perf()
+                with cond:
+                    state["generation"] += 1
+                    state["pending"] = n
+                    cond.notify_all()
+                    while state["pending"]:
+                        cond.wait()
+                self.retire_time_s += perf() - t1
+                for i in range(n):
+                    outcome = results[i]
+                    if isinstance(outcome, BaseException):
+                        raise outcome  # pragma: no cover - defensive
+                    total += outcome
+                # -- forward cross-channel arrivals -------------------
+                if debug:
+                    s_list = list(s)
+                    h_list = list(horizons)
+                    for i, shard in enumerate(shards):
+                        if tasks[i] is None:
+                            continue
+                        self.debug_trace.append({
+                            "shard": i,
+                            "s": s_list,
+                            "horizons": h_list,
+                            "max_issue": shard.round_max_issue,
+                            "exports": list(shard.exports),
+                        })
                         shard.round_max_issue = -1
                 for shard in shards:
                     if shard.exports:
@@ -701,8 +1330,8 @@ class ShardedSimulator:
                         f"stopped after {max_commands} commands "
                         f"(raise max_commands to simulate further)")
         finally:
-            if pool is not None:
-                pool.shutdown(wait=False)
-        result = collect_result(system, self.cores)
-        result.wall_time_s = time.perf_counter() - wall_start
-        return result
+            with cond:
+                state["stop"] = True
+                cond.notify_all()
+            for w in workers:
+                w.join(timeout=5.0)

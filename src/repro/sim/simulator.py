@@ -152,6 +152,16 @@ class SimulationResult:
     #: evictions the memo performed (``repro stats`` surfaces both).
     route_cache_size: int = 0
     route_cache_clears: int = 0
+    #: Sharded-loop coordinator diagnostics (perf counters, never in
+    #: the digest; all zero under the classic loop): sweeps/rounds
+    #: driven, per-core horizon contributions rebuilt vs. served from
+    #: the version-keyed cache, and the coordinator's wall-clock split
+    #: between horizon assembly and shard execution.
+    rounds: int = 0
+    horizons_recomputed: int = 0
+    horizons_reused: int = 0
+    horizon_time_s: float = 0.0
+    retire_time_s: float = 0.0
     #: Cycle-accounting report when the run was observed (``observe=``
     #: on :class:`MemorySystem` / :func:`run_traces`); ``None``
     #: otherwise.  Observability never feeds the digest.

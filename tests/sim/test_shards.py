@@ -1,6 +1,6 @@
 """The channel-sharded event loop: equivalence, horizons, wake-on-room.
 
-Three layers of evidence that :mod:`repro.sim.shards` is a pure
+Four layers of evidence that :mod:`repro.sim.shards` is a pure
 performance transform of the classic loop:
 
 * **Digest matrix**: every preset, every backend (reference scheduler,
@@ -11,9 +11,13 @@ performance transform of the classic loop:
   no cross-channel arrival ever materialises before the horizon of the
   channel it lands on -- i.e. the computed horizon is never later than
   the first true cross-channel dependency.
+* **Incremental-vs-oracle** (hypothesis): the version-keyed
+  contribution cache assembles exactly the horizons the full
+  recomputation would, over random retire/park/switch sequences
+  (``check_horizons=True`` asserts equality on every assembly).
 * **Wake-on-room determinism**: with queues tight enough to park cores,
   the retire-callback wake path reproduces the classic loop's digests
-  exactly.
+  exactly -- under the sweep driver and the threaded driver alike.
 """
 
 import hashlib
@@ -138,40 +142,141 @@ def fuzz_traces(seed: int, cores: int, accesses: int):
     return traces
 
 
+def check_visit_records(visits):
+    """Soundness assertions over per-visit debug records."""
+    assert visits, "multi-channel run must record at least one visit"
+    for record in visits:
+        horizons = record["horizons"]
+        i = record["shard"]
+        if record["max_issue"] >= 0:
+            assert record["max_issue"] < horizons[i]
+        for ready, _cid, target in record["exports"]:
+            assert ready >= horizons[target]
+        assert record["s"][i] <= BLOCKED
+        assert horizons[i] <= BLOCKED
+
+
 @settings(max_examples=12, deadline=None)
 @given(seed=st.integers(0, 1 << 30), cores=st.integers(2, 4),
        preset=st.sampled_from((0, 9, 13)))
 def test_horizon_property(seed, cores, preset):
     """No commit at/past the horizon; no arrival before it.
 
-    The debug trace records, per barrier round, each shard's horizon,
-    the largest issue time it committed, and every cross-channel
+    The debug trace records one entry per shard *visit* of the sweep
+    driver: the horizon vector assembled for that visit, the largest
+    issue time the shard committed under it, and every cross-channel
     arrival it produced.  Soundness is exactly: commits stay strictly
-    below the committing shard's horizon, and every exported arrival's
+    below the visited shard's horizon, and every exported arrival's
     ready time is at or past the horizon of the channel it lands on
     (the horizon is never later than the first true cross-channel
     dependency).
     """
     config = PRESETS[preset]
     traces = fuzz_traces(seed, cores, 120)
-    rounds = []
+    visits = []
     _, sharded, sharded_cmds = run_backend(config, traces, "serial",
-                                           debug_trace=rounds)
+                                           debug_trace=visits)
     _, ref, ref_cmds = run_backend(config, traces, "off")
     assert sharded_cmds == ref_cmds
     assert sharded.digest() == ref.digest()
-    assert rounds, "multi-channel run must take at least one round"
-    for record in rounds:
-        horizons = record["horizons"]
-        for c, max_issue in enumerate(record["max_issue"]):
-            if max_issue >= 0:
-                assert max_issue < horizons[c]
-        for shard_exports in record["exports"]:
-            for ready, _cid, target in shard_exports:
-                assert ready >= horizons[target]
-        for c, h in enumerate(horizons):
-            assert record["s"][c] <= BLOCKED
-            assert h <= BLOCKED
+    check_visit_records(visits)
+
+
+def test_horizon_property_threads_records():
+    """The threaded driver emits the same per-visit record schema."""
+    config = PRESETS[0]
+    traces = mix_traces("mix0", 150)
+    visits = []
+    _, result, cmds = run_backend(config, traces, "threads",
+                                  debug_trace=visits)
+    _, ref, ref_cmds = run_backend(config, traces, "off")
+    assert cmds == ref_cmds
+    assert result.digest() == ref.digest()
+    check_visit_records(visits)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1 << 30), cores=st.integers(2, 4),
+       preset=st.sampled_from((0, 9, 13)), tight=st.booleans())
+def test_incremental_horizons_match_oracle(seed, cores, preset, tight):
+    """The contribution cache reproduces the full recomputation.
+
+    ``check_horizons=True`` re-derives every assembled horizon vector
+    with the cache-free oracle (:meth:`ShardedSimulator._horizons_full`)
+    and raises on the first divergence, so simply completing the run is
+    the property.  ``tight`` queues force parking so the one input read
+    outside the version key (parked-ness) is exercised too.
+    """
+    config = PRESETS[preset]
+    if tight:
+        config = replace(config, queue=QueueConfig(
+            read_depth=2, write_depth=2, drain_high=2, drain_low=1))
+    traces = fuzz_traces(seed, cores, 100)
+    system = MemorySystem(config)
+    cores_ = [TraceCore(t, CoreConfig(), core_id=i)
+              for i, t in enumerate(traces)]
+    sim = ShardedSimulator(system, cores_, backend="serial",
+                           check_horizons=True)
+    sim.run()
+    assert sim.horizons_recomputed > 0
+    # Every assembly touches every core exactly once, one way or the
+    # other.
+    assert (sim.horizons_recomputed + sim.horizons_reused) \
+        % len(cores_) == 0
+
+
+def test_oracle_armed_on_threads_backend():
+    config = PRESETS[0]
+    traces = mix_traces("mix3", 150)
+    system = MemorySystem(config)
+    cores = [TraceCore(t, CoreConfig(), core_id=i)
+             for i, t in enumerate(traces)]
+    ShardedSimulator(system, cores, backend="threads",
+                     check_horizons=True).run()
+
+
+def test_check_env_var_arms_oracle(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARDS_CHECK", "1")
+    system = MemorySystem(PRESETS[0])
+    sim = ShardedSimulator(system, [], backend="serial")
+    assert sim.check_horizons
+
+
+def test_shard_perf_counters_surface_in_result():
+    """rounds / horizon-cache / peek-cache counters reach the result."""
+    config = cfgs.ddr4_baseline()
+    traces = mix_traces("mix0", 200)
+    _, result, _ = run_backend(config, traces, "serial")
+    assert result.rounds > 0
+    assert result.horizons_recomputed > 0
+    # Cores retire at most one request between consecutive assemblies
+    # on average, so reuse must dominate rebuilds on real traffic.
+    assert result.horizons_reused > result.horizons_recomputed
+    assert result.stats.peek_reuses > 0
+    assert result.retire_time_s > 0.0
+    assert result.horizon_time_s >= 0.0
+
+
+class TestDefaultBackend:
+    """``sys._is_gil_enabled`` picks the default backend."""
+
+    def test_gil_build_defaults_to_serial(self, monkeypatch):
+        from repro.sim import shards
+        monkeypatch.setattr(shards.sys, "_is_gil_enabled",
+                            lambda: True, raising=False)
+        assert shards._default_shard_mode() == "serial"
+
+    def test_free_threaded_build_defaults_to_threads(self, monkeypatch):
+        from repro.sim import shards
+        monkeypatch.setattr(shards.sys, "_is_gil_enabled",
+                            lambda: False, raising=False)
+        assert shards._default_shard_mode() == "threads"
+
+    def test_missing_probe_means_serial(self, monkeypatch):
+        from repro.sim import shards
+        monkeypatch.delattr(shards.sys, "_is_gil_enabled",
+                            raising=False)
+        assert shards._default_shard_mode() == "serial"
 
 
 class TestWakeOnRoom:
