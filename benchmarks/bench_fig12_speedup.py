@@ -8,11 +8,12 @@ Ideal32 ~ +17% (ERUCA within 2% of ideal); paired-bank ERUCA -2%
 
 from conftest import print_header
 
-from repro.sim.experiments import fig12, fig12_configs
+from repro.sim.experiments import run_figure
 
 
 def test_fig12_weighted_speedup(benchmark, full_context):
-    table = benchmark.pedantic(fig12, args=(full_context,),
+    table = benchmark.pedantic(run_figure,
+                               args=("fig12", full_context),
                                rounds=1, iterations=1)
 
     mixes = full_context.settings.mixes

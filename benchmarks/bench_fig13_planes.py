@@ -10,11 +10,13 @@ speedup trends.
 
 from conftest import print_header
 
-from repro.sim.experiments import FIG13_PLANES, FIG13_SCHEMES, fig13
+from repro.sim.experiments import (
+    FIG13_PLANES, FIG13_SCHEMES, run_figure)
 
 
 def test_fig13_plane_sensitivity(benchmark, sweep_context):
-    points = benchmark.pedantic(fig13, args=(sweep_context,),
+    points = benchmark.pedantic(run_figure,
+                                args=("fig13", sweep_context),
                                 rounds=1, iterations=1)
 
     print_header(

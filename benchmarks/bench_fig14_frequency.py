@@ -10,11 +10,12 @@ the higher frequencies.
 from conftest import print_header
 
 from repro.dram.timing import FIG14_BUS_FREQUENCIES_HZ
-from repro.sim.experiments import fig14
+from repro.sim.experiments import run_figure
 
 
 def test_fig14_frequency_scaling(benchmark, sweep_context):
-    points = benchmark.pedantic(fig14, args=(sweep_context,),
+    points = benchmark.pedantic(run_figure,
+                                args=("fig14", sweep_context),
                                 rounds=1, iterations=1)
 
     print_header("Fig. 14: normalised WS vs channel frequency "

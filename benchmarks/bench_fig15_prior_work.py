@@ -9,7 +9,7 @@ clear synergy over MASA8 alone (~+20%).
 
 from conftest import print_header
 
-from repro.sim.experiments import fig15
+from repro.sim.experiments import run_figure
 
 PAPER = {
     "Half-DRAM": 1.08,
@@ -20,7 +20,8 @@ PAPER = {
 
 
 def test_fig15_prior_work(benchmark, sweep_context):
-    out = benchmark.pedantic(fig15, args=(sweep_context,),
+    out = benchmark.pedantic(run_figure,
+                             args=("fig15", sweep_context),
                              rounds=1, iterations=1)
 
     print_header("Fig. 15: prior-work comparison "

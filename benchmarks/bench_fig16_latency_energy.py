@@ -9,11 +9,12 @@ hits), total within 1% of ideal.
 
 from conftest import print_header
 
-from repro.sim.experiments import fig16
+from repro.sim.experiments import run_figure
 
 
 def test_fig16_latency_energy(benchmark, sweep_context):
-    rows = benchmark.pedantic(fig16, args=(sweep_context,),
+    rows = benchmark.pedantic(run_figure,
+                              args=("fig16", sweep_context),
                               rounds=1, iterations=1)
 
     base = rows[0]

@@ -20,11 +20,13 @@ sub-array machinery matters at 16 Gb and beyond.
 
 from conftest import print_header
 
-from repro.sim.experiments import REFRESH_SWEEP_DENSITIES, fig_refresh
+from repro.sim.experiments import (
+    REFRESH_SWEEP_DENSITIES, run_figure)
 
 
 def test_refresh_policy_sweep(benchmark, sweep_context):
-    points = benchmark.pedantic(fig_refresh, args=(sweep_context,),
+    points = benchmark.pedantic(run_figure,
+                                args=("figref", sweep_context),
                                 rounds=1, iterations=1)
 
     print_header("Refresh sweep: normalised WS vs policy x density "

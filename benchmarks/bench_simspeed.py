@@ -117,6 +117,14 @@ def _run_grid_phase(jobs: int, incremental: bool, cache_dir: str,
             digests[f"{config.name}|{mix}"] = result.digest()
         counters["horizon_time_s"] = round(counters["horizon_time_s"], 4)
         counters["retire_time_s"] = round(counters["retire_time_s"], 4)
+        # Result-store discipline: each phase ran against a cold cache
+        # directory, so the store must have missed once and put once
+        # per grid cell, and served nothing.
+        sc = context.store.counters
+        counters["store_hits"] = sc.hits
+        counters["store_misses"] = sc.misses
+        counters["store_puts"] = sc.puts
+        counters["store_cells"] = len(context._cell_cache)
         return elapsed, table, counters, digests
     finally:
         scheduler_mod.INCREMENTAL_DEFAULT = old_mode
@@ -264,6 +272,15 @@ def check_phases(records, tables) -> None:
             record["name"]
         assert (record["horizons_recomputed"]
                 <= 2.2 * record["transactions"] + 1000), record["name"]
+    # Store-counter ceilings: every phase runs cold, so the store must
+    # behave exactly once-per-cell -- no redundant probing (a miss
+    # storm), no double writes, and no phantom hits.
+    for record in records:
+        assert record["store_hits"] == 0, record["name"]
+        assert record["store_puts"] == record["store_cells"], \
+            record["name"]
+        assert record["store_misses"] <= record["store_cells"], \
+            record["name"]
 
 
 #: The quick grid (--quick: 400 accesses, mix0/mix3) whose reference

@@ -10,13 +10,22 @@
     python -m repro fig4 --accesses 3000
     python -m repro figref --mixes mix0,mix3     # refresh policy sweep
     python -m repro run --config vsb --mix mix0
+    python -m repro run fig12 --jobs 0           # spec-driven, resumable
+    python -m repro run my_spec.json
+    python -m repro cells fig12                  # expansion + store diff
+    python -m repro gc --max-age-days 30         # prune the result store
     python -m repro stats --config vsb --mix mix0 --per-bank
     python -m repro trace --config vsb --mix mix0 --limit 50
     python -m repro profile --config vsb --mix mix0 --sort tottime
 
 Each figure sub-command prints the same rows as the corresponding
 benchmark in ``benchmarks/`` (the benches add assertions and timing on
-top).  ``stats`` and ``trace`` expose the cycle-accounting layer
+top).  ``run`` with a positional argument executes a declarative
+experiment spec -- a named figure grid or a JSON file (see
+``docs/EXPERIMENTS_SERVICE.md``) -- against the content-addressed
+result store, simulating only cells the store does not already hold;
+``cells`` previews that diff and ``gc`` prunes the store.  ``stats``
+and ``trace`` expose the cycle-accounting layer
 (:mod:`repro.sim.accounting`): ``stats`` attributes every channel cycle
 to one stall bucket, ``trace`` streams the per-command event log; both
 are documented in ``docs/OBSERVABILITY.md``.
@@ -125,17 +134,80 @@ def _observed_run(args, trace: bool = False, trace_limit=None):
 
 
 def cmd_list(args) -> None:
+    from repro.sim.specs import NAMED_SPECS
     print("configurations:")
     for name in CONFIG_FACTORIES:
         print(f"  {name:14s} -> {CONFIG_FACTORIES[name]().name}")
     print("mixes:", ", ".join(MIX_NAMES))
     print("experiments: fig4 fig11 fig12 fig13 fig14 fig15 fig16 "
           "figref")
+    print("named specs (run/cells):", " ".join(sorted(NAMED_SPECS)))
     print("observability: stats trace profile "
           "(and --emit-stats on figures)")
 
 
+def _progress_printer():
+    """Per-cell progress lines for the spec runner."""
+    def progress(cell, status):
+        d = cell.describe()
+        print(f"[{status:6s}] {d['kind']:5s} {d['workload']:10s} "
+              f"frag={d['fragmentation']:.2f} seed={d['seed']} "
+              f"{d['config']}", flush=True)
+    return progress
+
+
+def _run_spec_cmd(args) -> None:
+    """``repro run <spec.json|named-fig>``: execute a declarative spec.
+
+    Diffs the expanded grid against the result store and simulates only
+    the missing cells; the final counter line (``cells=... submitted=...``)
+    is stable for scripting -- the CI resume-smoke step asserts
+    ``submitted=0`` on a second run.
+    """
+    from repro.sim.parallel import default_workers
+    from repro.sim.runner import run_spec
+    from repro.sim.specs import resolve_spec
+    spec = resolve_spec(args.spec, _settings(args))
+    jobs = args.jobs if args.jobs > 0 else default_workers()
+    _, report = run_spec(spec, jobs=jobs,
+                         progress=_progress_printer())
+    print(f"spec {spec.name} digest {spec.digest()[:12]}")
+    print(report.summary())
+
+
+def cmd_cells(args) -> None:
+    """``repro cells``: preview a spec's expansion and its store diff."""
+    from repro.sim.specs import resolve_spec
+    from repro.sim.store import ResultStore
+    spec = resolve_spec(args.spec, _settings(args))
+    store = ResultStore()
+    cached = 0
+    for cell in spec.expand():
+        hit = store.contains(cell.store_key())
+        cached += hit
+        d = cell.describe()
+        print(f"[{'cached' if hit else 'missing'}] {d['kind']:5s} "
+              f"{d['workload']:10s} frag={d['fragmentation']:.2f} "
+              f"seed={d['seed']} {d['config']}")
+    total = len(spec.expand())
+    print(f"spec {spec.name} digest {spec.digest()[:12]}: "
+          f"{total} cells, {cached} cached, {total - cached} missing")
+
+
+def cmd_gc(args) -> None:
+    """``repro gc``: prune old / excess result-store entries."""
+    from repro.sim.store import ResultStore
+    store = ResultStore()
+    report = store.gc(max_age_days=args.max_age_days,
+                      max_entries=args.max_entries)
+    print(f"store {store.root}: scanned {report.scanned}, "
+          f"removed {report.removed} ({report.freed_bytes} bytes), "
+          f"kept {report.kept}")
+
+
 def cmd_run(args) -> None:
+    if getattr(args, "spec", None):
+        return _run_spec_cmd(args)
     from repro.sim.simulator import run_traces
     from repro.workloads.mixes import mix_traces
     config = _cell_config(args)
@@ -157,6 +229,7 @@ def cmd_run(args) -> None:
 def cmd_stats(args) -> None:
     """``repro stats``: full stall attribution for one (config, mix)."""
     from repro.sim.parallel import trace_memo_stats
+    from repro.sim.store import store_counter_stats
     result = _observed_run(args)
     report = result.accounting
     report.verify()
@@ -166,6 +239,9 @@ def cmd_stats(args) -> None:
           f"{result.route_cache_clears} oldest-half evictions; "
           f"trace memo: {memo['size']} entries, "
           f"{memo['evictions']} oldest-half evictions")
+    sc = store_counter_stats()
+    print(f"result store: {sc['hits']} hits, {sc['misses']} misses, "
+          f"{sc['puts']} puts, {sc['evictions']} evictions")
     if result.rounds:
         from repro.sim.shards import lookahead_memo_stats
         la = lookahead_memo_stats()
@@ -369,8 +445,45 @@ def build_parser() -> argparse.ArgumentParser:
         return p
 
     run = cell(common(sub.add_parser(
-        "run", help="one config on one mix")))
+        "run", help="one config on one mix, or a full experiment spec",
+        description="With no positional argument: simulate one "
+                    "(--config, --mix) cell and print its headline "
+                    "numbers.  With SPEC (a named figure grid such as "
+                    "fig12, or a path to a spec JSON file): expand the "
+                    "spec, serve every cell already in the result "
+                    "store, and simulate only the missing ones -- a "
+                    "killed sweep resubmitted re-runs only what is "
+                    "absent.  See docs/EXPERIMENTS_SERVICE.md.")))
+    run.add_argument("spec", nargs="?", default=None,
+                     help="named spec (see 'list') or spec JSON path; "
+                          "omit for the single-cell --config/--mix "
+                          "form")
+    run.add_argument("--mixes", default=None,
+                     help="comma-separated mix subset for named specs")
     run.set_defaults(func=cmd_run)
+
+    cells = common(sub.add_parser(
+        "cells", help="expand a spec and diff it against the store",
+        description="Print one line per grid cell of SPEC with its "
+                    "store status (cached/missing) -- a dry run of "
+                    "'repro run SPEC'."))
+    cells.add_argument("spec",
+                       help="named spec (see 'list') or spec JSON path")
+    cells.add_argument("--mixes", default=None,
+                       help="comma-separated mix subset for named "
+                            "specs")
+    cells.set_defaults(func=cmd_cells)
+
+    gc = sub.add_parser(
+        "gc", help="prune the on-disk result store",
+        description="Remove unreadable entries and entries from other "
+                    "cache versions; optionally also drop entries by "
+                    "age or cap the store at a size.")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    help="also remove entries older than this")
+    gc.add_argument("--max-entries", type=int, default=None,
+                    help="keep only the newest N entries")
+    gc.set_defaults(func=cmd_gc)
 
     stats = cell(common(sub.add_parser(
         "stats", help="stall attribution for one config on one mix",

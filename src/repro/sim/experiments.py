@@ -1,18 +1,25 @@
 """One runner per paper table/figure (shared by benches and examples).
 
-Every runner takes an :class:`ExperimentSettings` controlling scale
-(accesses per core, seeds, mix subset) so the same code serves quick CI
-runs and full reproductions.  Results come back as plain dataclasses the
-benches print in the paper's row/series layout.
+Each figure is now a *declarative spec plus a pure reducer*: the grid
+(configs x mixes x fragmentations x seeds) is described by an
+:class:`~repro.sim.specs.ExperimentSpec` from :mod:`repro.sim.specs`,
+executed through the content-addressed result store by
+:mod:`repro.sim.runner`, and reduced to the paper's tables by the
+``reduce_figN`` functions below -- pure functions over a
+:class:`~repro.sim.runner.ResultSet`.  The historical entry points
+(``fig12(context)`` and friends) remain as thin shims over that
+pipeline, producing bit-identical numbers to the pre-refactor path
+(pinned in ``tests/data/figure_digests.json``).
 
 Weighted speedup follows the paper: per-mix Snavely-Tullsen WS normalised
 to the DDR4 baseline, GMEAN across mixes.  Alone-IPCs are measured on the
-baseline system once per (benchmark, fragmentation, seed) and cached.
+baseline system once per (benchmark, fragmentation, seed) and served
+from the store on every later run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mechanisms import EruConfig
@@ -27,37 +34,47 @@ from repro.sim.metrics import (
     quartiles,
     weighted_speedup,
 )
-from repro.sim.parallel import AloneIpcDiskCache, SimJob, run_grid
+from repro.sim.runner import ResultSet, RunReport, execute_cells
 from repro.sim.simulator import SimulationResult, run_traces
+from repro.sim.specs import (  # noqa: F401  (re-exports)
+    FIG12_CONFIG_SPECS,
+    FIG13_PLANES,
+    FIG13_SCHEMES,
+    FIG14_CONFIG_SPECS,
+    FIG15_CONFIG_SPECS,
+    FIG16_CONFIG_SPECS,
+    REFRESH_SWEEP_DENSITIES,
+    CellKey,
+    ConfigSpec,
+    ExperimentSettings,
+    ExperimentSpec,
+    fig12_spec,
+    fig13_spec,
+    fig14_spec,
+    fig15_spec,
+    fig16_spec,
+    figref_spec,
+    refresh_config_specs,
+    refresh_platform_spec,
+)
+from repro.sim.store import ResultStore
 from repro.workloads.generator import generate_traces
-from repro.workloads.mixes import MIXES, MIX_NAMES, mix_traces
+from repro.workloads.mixes import MIXES, mix_traces
 from repro.workloads.profiles import profile
 
 
-@dataclass(frozen=True)
-class ExperimentSettings:
-    """Scale knobs shared by all experiment runners."""
-
-    accesses_per_core: int = 2500
-    fragmentation: float = 0.1
-    seed: int = 0
-    mixes: Tuple[str, ...] = MIX_NAMES
-
-    def quick(self) -> "ExperimentSettings":
-        """A cut-down version for smoke tests."""
-        return replace(self, accesses_per_core=600,
-                       mixes=self.mixes[:2])
-
-
 class ExperimentContext:
-    """Caches traces, alone-IPCs, and simulation results across runners.
+    """Caches traces and cell results across runners, store-backed.
 
-    ``jobs`` > 1 lets :meth:`prefetch` fan independent grid cells out
-    over worker processes (see :mod:`repro.sim.parallel`); every runner
-    prefetches its full grid up front, then reads results from the
-    cache, so serial and parallel execution produce identical tables.
+    The context is the execution engine behind the figure shims: it
+    holds the in-process layer (traces, finished cells) above the
+    persistent :class:`~repro.sim.store.ResultStore`, and
+    :meth:`execute` runs a whole spec through
+    :func:`repro.sim.runner.execute_cells` -- memory first, store
+    second, simulation (``jobs``-wide) only for what is left.  Serial
+    and parallel execution produce identical tables.
 
-    ``disk_cache`` (on by default) persists alone-IPC runs across
+    ``disk_cache`` (on by default) persists every cell result across
     invocations; pass ``disk_cache=False`` for a hermetic context.
 
     ``observe`` attaches cycle accounting (:mod:`repro.sim.accounting`)
@@ -77,16 +94,23 @@ class ExperimentContext:
         self.jobs = jobs
         self.observe = observe
         #: The configuration alone-IPC denominators run on (weighted
-        #: speedup normalises against it).  Part of the disk-cache key,
-        #: so a refresh-enabled or non-DRAM alone baseline never
-        #: collides with the default's entries.
+        #: speedup normalises against it).  Part of every alone cell's
+        #: content address, so a refresh-enabled or non-DRAM alone
+        #: baseline never collides with the default's entries.
         self.alone_config = alone_config or cfgs.ddr4_baseline()
-        self.disk_cache: Optional[AloneIpcDiskCache] = (
-            AloneIpcDiskCache() if disk_cache else None)
+        #: Persistent result store (``None`` for hermetic contexts).
+        self.store: Optional[ResultStore] = (
+            ResultStore() if disk_cache else None)
+        #: Counters of the most recent :meth:`execute` pass.
+        self.last_report: Optional[RunReport] = None
         self._trace_cache: Dict[tuple, List[Trace]] = {}
         self._alone_cache: Dict[tuple, float] = {}
+        #: Finished cells keyed by :class:`CellKey` -- the memory layer
+        #: :func:`~repro.sim.runner.execute_cells` diffs first.
+        self._cell_cache: Dict[CellKey, SimulationResult] = {}
         #: Finished cells keyed by (config, mix, frag, core_config) --
-        #: all frozen dataclasses, so equal configs hit across figures.
+        #: all frozen dataclasses, so equal configs hit across figures
+        #: (kept for :func:`emit_stats_sidecars` and :meth:`run`).
         self._result_cache: Dict[tuple, SimulationResult] = {}
 
     # -- workloads ---------------------------------------------------------
@@ -101,15 +125,27 @@ class ExperimentContext:
                 mix, s.accesses_per_core, fragmentation=frag, seed=s.seed)
         return self._trace_cache[key]
 
+    # -- cell keys ---------------------------------------------------------
+
     def _alone_key(self, benchmark: str, frag: float,
                    cc: CoreConfig) -> tuple:
         s = self.settings
         return (benchmark, frag, s.seed, s.accesses_per_core, cc.clock_hz)
 
-    def _alone_disk_key(self, key: tuple) -> str:
-        benchmark, frag, seed, accesses, clock_hz = key
-        return AloneIpcDiskCache.key(self.alone_config, benchmark, frag,
-                                     seed, accesses, clock_hz)
+    def _alone_cell(self, benchmark: str, frag: float,
+                    cc: CoreConfig) -> CellKey:
+        s = self.settings
+        return CellKey(kind="alone", config=self.alone_config,
+                       workload=benchmark,
+                       accesses=s.accesses_per_core, fragmentation=frag,
+                       seed=s.seed, core_config=cc)
+
+    def _mix_cell(self, config: SystemConfig, mix: str, frag: float,
+                  cc: CoreConfig) -> CellKey:
+        s = self.settings
+        return CellKey(kind="mix", config=config, workload=mix,
+                       accesses=s.accesses_per_core, fragmentation=frag,
+                       seed=s.seed, core_config=cc)
 
     def alone_ipc(self, benchmark: str,
                   fragmentation: Optional[float] = None,
@@ -119,9 +155,9 @@ class ExperimentContext:
         cc = core_config or self.core_config
         key = self._alone_key(benchmark, frag, cc)
         if key not in self._alone_cache:
-            value = None
-            if self.disk_cache is not None:
-                value = self.disk_cache.get(self._alone_disk_key(key))
+            cell = self._alone_cell(benchmark, frag, cc)
+            value = (self.store.get_scalar(cell.store_key())
+                     if self.store is not None else None)
             if value is None:
                 traces = generate_traces(
                     [profile(benchmark)], s.accesses_per_core,
@@ -129,8 +165,10 @@ class ExperimentContext:
                 result = run_traces(self.alone_config, traces,
                                     core_config=cc)
                 value = result.ipcs[0]
-                if self.disk_cache is not None:
-                    self.disk_cache.put(self._alone_disk_key(key), value)
+                self._cell_cache[cell] = result
+                if self.store is not None:
+                    self.store.put(cell.store_key(), result,
+                                   key_info=cell.describe())
             self._alone_cache[key] = value
         return self._alone_cache[key]
 
@@ -145,9 +183,18 @@ class ExperimentContext:
         key = (config, mix, frag, cc)
         result = self._result_cache.get(key)
         if result is None:
-            result = run_traces(config, self.traces(mix, frag),
-                                core_config=cc,
-                                observe=self.observe or None)
+            cell = self._mix_cell(config, mix, frag, cc)
+            if self.store is not None:
+                result = self.store.get(cell.store_key(),
+                                        need_accounting=self.observe)
+            if result is None:
+                result = run_traces(config, self.traces(mix, frag),
+                                    core_config=cc,
+                                    observe=self.observe or None)
+                if self.store is not None:
+                    self.store.put(cell.store_key(), result,
+                                   key_info=cell.describe())
+            self._cell_cache[cell] = result
             self._result_cache[key] = result
         return result
 
@@ -161,6 +208,43 @@ class ExperimentContext:
                  for n in names]
         return weighted_speedup(result.ipcs, alone), result
 
+    # -- spec execution -----------------------------------------------------
+
+    def _sync_legacy_caches(self, cells: Sequence[CellKey]) -> None:
+        """Mirror executed cells into the historical cache shapes that
+        :meth:`mix_ws` and :func:`emit_stats_sidecars` read."""
+        s = self.settings
+        for cell in cells:
+            result = self._cell_cache.get(cell)
+            if result is None or cell.seed != s.seed \
+                    or cell.accesses != s.accesses_per_core:
+                continue
+            if cell.kind == "mix":
+                self._result_cache[(cell.config, cell.workload,
+                                    cell.fragmentation,
+                                    cell.core_config)] = result
+            else:
+                self._alone_cache[self._alone_key(
+                    cell.workload, cell.fragmentation,
+                    cell.core_config)] = result.ipcs[0]
+
+    def run_cells(self, cells: Sequence[CellKey],
+                  observe: Optional[bool] = None) -> RunReport:
+        """Execute a cell list through memory -> store -> simulation."""
+        report = execute_cells(
+            cells, results=self._cell_cache, store=self.store,
+            jobs=self.jobs,
+            observe=self.observe if observe is None else observe)
+        self._sync_legacy_caches(cells)
+        self.last_report = report
+        return report
+
+    def execute(self, spec: ExperimentSpec) -> ResultSet:
+        """Run a whole spec; only cells absent everywhere simulate."""
+        self.run_cells(spec.expand(self.core_config),
+                       observe=spec.observe)
+        return ResultSet(spec, self._cell_cache, self.core_config)
+
     # -- grid prefetch ------------------------------------------------------
 
     def prefetch(self, cells: Sequence[tuple], alone: bool = True) -> None:
@@ -170,15 +254,20 @@ class ExperimentContext:
         tuples (the trailing pair may be ``None`` for the context
         defaults).  With ``alone`` set, the member benchmarks' alone-IPC
         runs are prefetched too.  Serial contexts return immediately:
-        the lazy per-cell path is just as fast in-process and reuses
-        cached traces.
+        the lazy per-cell path is just as fast in-process, reuses
+        cached traces, and reads the same store.
         """
         if self.jobs <= 1:
             return
         s = self.settings
-        jobs: List[SimJob] = []
-        slots: List[tuple] = []
-        queued = set()
+        keys: List[CellKey] = []
+        seen = set()
+
+        def emit(cell: CellKey) -> None:
+            if cell not in seen:
+                seen.add(cell)
+                keys.append(cell)
+
         for cell in cells:
             config, mix = cell[0], cell[1]
             frag = cell[2] if len(cell) > 2 and cell[2] is not None \
@@ -187,51 +276,9 @@ class ExperimentContext:
                 else self.core_config
             if alone:
                 for benchmark in MIXES[mix][0]:
-                    akey = self._alone_key(benchmark, frag, cc)
-                    if akey in self._alone_cache or akey in queued:
-                        continue
-                    if self.disk_cache is not None:
-                        value = self.disk_cache.get(
-                            self._alone_disk_key(akey))
-                        if value is not None:
-                            self._alone_cache[akey] = value
-                            continue
-                    queued.add(akey)
-                    jobs.append(SimJob(
-                        config=self.alone_config,
-                        accesses=s.accesses_per_core, fragmentation=frag,
-                        seed=s.seed, core_config=cc,
-                        benchmark=benchmark))
-                    slots.append(("alone", akey))
-            rkey = (config, mix, frag, cc)
-            if rkey in self._result_cache or rkey in queued:
-                continue
-            queued.add(rkey)
-            jobs.append(SimJob(
-                config=config, accesses=s.accesses_per_core,
-                fragmentation=frag, seed=s.seed, core_config=cc,
-                mix=mix, observe=self.observe))
-            slots.append(("result", rkey))
-        if not jobs:
-            return
-        # Group cells sharing a workload next to each other: chunked
-        # dispatch then lands them on one worker, whose per-process
-        # trace memo regenerates the traces once per group.
-        order = sorted(range(len(jobs)), key=lambda i: (
-            jobs[i].benchmark or "", jobs[i].mix or "",
-            jobs[i].fragmentation, i))
-        jobs = [jobs[i] for i in order]
-        slots = [slots[i] for i in order]
-        results = run_grid(jobs, self.jobs)
-        new_alone: Dict[str, float] = {}
-        for (kind, key), result in zip(slots, results):
-            if kind == "alone":
-                self._alone_cache[key] = result.ipcs[0]
-                new_alone[self._alone_disk_key(key)] = result.ipcs[0]
-            else:
-                self._result_cache[key] = result
-        if self.disk_cache is not None:
-            self.disk_cache.put_many(new_alone)
+                    emit(self._alone_cell(benchmark, frag, cc))
+            emit(self._mix_cell(config, mix, frag, cc))
+        self.run_cells(keys)
 
 
 # -- Fig. 12: normalised weighted speedup per mix ---------------------------
@@ -239,16 +286,7 @@ class ExperimentContext:
 
 def fig12_configs() -> List[SystemConfig]:
     """The Fig. 12 comparison set (plus the paired-bank variants)."""
-    return [
-        cfgs.ddr4_baseline(),
-        cfgs.vsb(EruConfig.naive(4)),
-        cfgs.vsb(EruConfig.naive_ddb(4)),
-        cfgs.vsb(EruConfig.full(4)),
-        cfgs.bg32(),
-        cfgs.ideal32(),
-        cfgs.paired_bank(EruConfig.full(4, ddb=False)),
-        cfgs.paired_bank(EruConfig.full(4, ddb=True)),
-    ]
+    return [cs.to_config() for cs in FIG12_CONFIG_SPECS]
 
 
 @dataclass
@@ -270,31 +308,34 @@ class SpeedupTable:
                 for config, row in self.normalized().items()}
 
 
-def fig12(context: ExperimentContext,
-          configs: Optional[Sequence[SystemConfig]] = None) -> SpeedupTable:
-    configs = list(configs or fig12_configs())
-    context.prefetch([(config, mix) for config in configs
-                      for mix in context.settings.mixes])
+def reduce_fig12(rs: ResultSet,
+                 configs: Sequence[SystemConfig],
+                 mixes: Sequence[str]) -> SpeedupTable:
+    """Pure Fig. 12 reducer: weighted speedups per (config, mix)."""
     table = SpeedupTable()
     for config in configs:
-        row = {}
-        for mix in context.settings.mixes:
-            ws, _ = context.mix_ws(config, mix)
-            row[mix] = ws
-        table.values[config.name] = row
+        table.values[config.name] = {mix: rs.ws(config, mix)[0]
+                                     for mix in mixes}
     return table
 
 
+def fig12(context: ExperimentContext,
+          configs: Optional[Sequence[SystemConfig]] = None) -> SpeedupTable:
+    if configs is None:
+        spec = fig12_spec(context.settings, observe=context.observe)
+    else:
+        spec = ExperimentSpec(
+            name="fig12", mixes=context.settings.mixes,
+            accesses_per_core=context.settings.accesses_per_core,
+            fragmentations=(context.settings.fragmentation,),
+            seeds=(context.settings.seed,), observe=context.observe,
+            configs=tuple(ConfigSpec(inline=c) for c in configs))
+    rs = context.execute(spec)
+    return reduce_fig12(rs, [cs.to_config() for cs in spec.configs],
+                        context.settings.mixes)
+
+
 # -- Fig. 13: plane-count sensitivity + conflict precharges -----------------
-
-
-FIG13_SCHEMES: Tuple[Tuple[str, Callable[[int], EruConfig]], ...] = (
-    ("VSB(naive)+DDB", EruConfig.naive_ddb),
-    ("VSB(EWLR)+DDB", EruConfig.ewlr_only),
-    ("VSB(RAP)+DDB", EruConfig.rap_only),
-    ("VSB(EWLR+RAP)+DDB", EruConfig.full),
-)
-FIG13_PLANES = (2, 4, 8, 16)
 
 
 @dataclass
@@ -307,27 +348,21 @@ class PlaneSweepPoint:
     ewlr_hit_rate: float
 
 
-def fig13(context: ExperimentContext,
-          fragmentations: Sequence[float] = (0.1, 0.5),
-          planes: Sequence[int] = FIG13_PLANES,
-          schemes=FIG13_SCHEMES) -> List[PlaneSweepPoint]:
+def reduce_fig13(rs: ResultSet, mixes: Sequence[str],
+                 fragmentations: Sequence[float],
+                 planes: Sequence[int],
+                 schemes) -> List[PlaneSweepPoint]:
+    """Pure Fig. 13 reducer over the (scheme, planes, frag) sweep."""
     points: List[PlaneSweepPoint] = []
-    mixes = context.settings.mixes
-    sweep_configs = [cfgs.ddr4_baseline()] + [
-        cfgs.vsb(make(n)) for _, make in schemes for n in planes]
-    context.prefetch([(config, mix, frag)
-                      for frag in fragmentations
-                      for config in sweep_configs
-                      for mix in mixes])
     for frag in fragmentations:
-        base_ws = {mix: context.mix_ws(cfgs.ddr4_baseline(), mix, frag)[0]
+        base_ws = {mix: rs.ws(cfgs.ddr4_baseline(), mix, frag)[0]
                    for mix in mixes}
         for scheme, make in schemes:
             for n in planes:
                 config = cfgs.vsb(make(n))
                 normalized, pre_frac, hits = [], [], []
                 for mix in mixes:
-                    ws, result = context.mix_ws(config, mix, frag)
+                    ws, result = rs.ws(config, mix, frag)
                     normalized.append(ws / base_ws[mix])
                     pre_frac.append(
                         result.plane_conflict_precharge_fraction)
@@ -341,6 +376,17 @@ def fig13(context: ExperimentContext,
     return points
 
 
+def fig13(context: ExperimentContext,
+          fragmentations: Sequence[float] = (0.1, 0.5),
+          planes: Sequence[int] = FIG13_PLANES,
+          schemes=FIG13_SCHEMES) -> List[PlaneSweepPoint]:
+    spec = fig13_spec(context.settings, fragmentations, planes,
+                      schemes, observe=context.observe)
+    rs = context.execute(spec)
+    return reduce_fig13(rs, context.settings.mixes, fragmentations,
+                        planes, schemes)
+
+
 # -- Fig. 14: channel-frequency sensitivity of DDB ---------------------------
 
 
@@ -352,12 +398,31 @@ class FrequencyPoint:
 
 
 def fig14_configs() -> List[SystemConfig]:
-    return [
-        cfgs.vsb(EruConfig.full(4, ddb=False)),   # VSB(EWLR+RAP)+BG
-        cfgs.vsb(EruConfig.full(4, ddb=True)),    # VSB(EWLR+RAP)+DDB
-        cfgs.bg32(),
-        cfgs.ideal32(),
-    ]
+    return [cs.to_config() for cs in FIG14_CONFIG_SPECS]
+
+
+def reduce_fig14(rs: ResultSet, mixes: Sequence[str],
+                 frequencies: Sequence[float],
+                 core_config: CoreConfig) -> List[FrequencyPoint]:
+    """Pure Fig. 14 reducer: normalised WS per (config, frequency)."""
+    points: List[FrequencyPoint] = []
+    base_freq = frequencies[0]
+    for freq in frequencies:
+        factor = freq / base_freq
+        core = core_config.scaled(factor)
+        base_ws = {
+            mix: rs.ws(cfgs.ddr4_baseline().at_frequency(freq), mix,
+                       core_config=core)[0]
+            for mix in mixes}
+        for config in fig14_configs():
+            scaled = config.at_frequency(freq)
+            normalized = [
+                rs.ws(scaled, mix, core_config=core)[0] / base_ws[mix]
+                for mix in mixes]
+            points.append(FrequencyPoint(
+                config=config.name, bus_frequency_hz=freq,
+                normalized_ws=gmean(normalized)))
+    return points
 
 
 def fig14(context: ExperimentContext,
@@ -365,68 +430,38 @@ def fig14(context: ExperimentContext,
           ) -> List[FrequencyPoint]:
     """DDB speedup as the channel clock scales (CPU clock scales along,
     per the paper, to keep memory intensity constant)."""
-    points: List[FrequencyPoint] = []
-    base_freq = frequencies[0]
-    mixes = context.settings.mixes
-    cells = []
-    for freq in frequencies:
-        factor = freq / base_freq
-        core = context.core_config.scaled(factor)
-        for config in ([cfgs.ddr4_baseline()] + fig14_configs()):
-            scaled = config.at_frequency(freq)
-            cells.extend((scaled, mix, None, core) for mix in mixes)
-    context.prefetch(cells)
-    for freq in frequencies:
-        factor = freq / base_freq
-        core = context.core_config.scaled(factor)
-        base_ws = {
-            mix: context.mix_ws(
-                cfgs.ddr4_baseline().at_frequency(freq), mix,
-                core_config=core)[0]
-            for mix in mixes}
-        for config in fig14_configs():
-            scaled = config.at_frequency(freq)
-            normalized = []
-            for mix in mixes:
-                ws, _ = context.mix_ws(scaled, mix, core_config=core)
-                normalized.append(ws / base_ws[mix])
-            points.append(FrequencyPoint(
-                config=config.name, bus_frequency_hz=freq,
-                normalized_ws=gmean(normalized)))
-    return points
+    spec = fig14_spec(context.settings, frequencies,
+                      observe=context.observe)
+    rs = context.execute(spec)
+    return reduce_fig14(rs, context.settings.mixes, frequencies,
+                        context.core_config)
 
 
 # -- Fig. 15: comparison to prior sub-banking work ---------------------------
 
 
 def fig15_configs() -> List[SystemConfig]:
-    return [
-        cfgs.half_dram(),
-        cfgs.vsb(EruConfig.full(4, ddb=False)),
-        cfgs.vsb(EruConfig.full(4, ddb=True)),
-        cfgs.masa(4),
-        cfgs.masa(8),
-        cfgs.masa_eruca(8, ddb=False),
-        cfgs.masa_eruca(8, ddb=True),
-        cfgs.ideal32(),
-    ]
+    return [cs.to_config() for cs in FIG15_CONFIG_SPECS]
+
+
+def reduce_fig15(rs: ResultSet,
+                 mixes: Sequence[str]) -> Dict[str, float]:
+    """Pure Fig. 15 reducer: GMEAN normalised WS per prior-work config."""
+    base_ws = {mix: rs.ws(cfgs.ddr4_baseline(), mix)[0]
+               for mix in mixes}
+    out: Dict[str, float] = {}
+    for config in fig15_configs():
+        normalized = [rs.ws(config, mix)[0] / base_ws[mix]
+                      for mix in mixes]
+        out[config.name] = gmean(normalized)
+    return out
 
 
 def fig15(context: ExperimentContext) -> Dict[str, float]:
     """GMEAN normalised weighted speedup of each prior-work config."""
-    mixes = context.settings.mixes
-    context.prefetch([(config, mix)
-                      for config in [cfgs.ddr4_baseline()]
-                      + fig15_configs()
-                      for mix in mixes])
-    base_ws = {mix: context.mix_ws(cfgs.ddr4_baseline(), mix)[0]
-               for mix in mixes}
-    out: Dict[str, float] = {}
-    for config in fig15_configs():
-        normalized = [context.mix_ws(config, mix)[0] / base_ws[mix]
-                      for mix in mixes]
-        out[config.name] = gmean(normalized)
-    return out
+    spec = fig15_spec(context.settings, observe=context.observe)
+    rs = context.execute(spec)
+    return reduce_fig15(rs, context.settings.mixes)
 
 
 # -- Fig. 16: read queueing latency and energy -------------------------------
@@ -449,24 +484,19 @@ class LatencyEnergyRow:
 
 
 def fig16_configs() -> List[SystemConfig]:
-    return [
-        cfgs.ddr4_baseline(),
-        cfgs.vsb(EruConfig.full(4, ddb=True)),
-        cfgs.ideal32(),
-    ]
+    return [cs.to_config() for cs in FIG16_CONFIG_SPECS]
 
 
-def fig16(context: ExperimentContext) -> List[LatencyEnergyRow]:
-    # Fig. 16 never computes weighted speedup, so no alone runs needed.
-    context.prefetch([(config, mix) for config in fig16_configs()
-                      for mix in context.settings.mixes], alone=False)
+def reduce_fig16(rs: ResultSet,
+                 mixes: Sequence[str]) -> List[LatencyEnergyRow]:
+    """Pure Fig. 16 reducer: latency quartiles + energy per config."""
     rows: List[LatencyEnergyRow] = []
     for config in fig16_configs():
         # Merging histograms is O(unique latencies), never O(samples).
         latencies = LatencyHistogram()
         background = activation = total = 0.0
-        for mix in context.settings.mixes:
-            result = context.run(config, mix)
+        for mix in mixes:
+            result = rs.mix(config, mix)
             latencies.merge(result.stats.read_latencies)
             background += result.energy.background_energy_nj(
                 result.elapsed_ps)
@@ -480,12 +510,14 @@ def fig16(context: ExperimentContext) -> List[LatencyEnergyRow]:
     return rows
 
 
+def fig16(context: ExperimentContext) -> List[LatencyEnergyRow]:
+    # Fig. 16 never computes weighted speedup, so no alone cells.
+    spec = fig16_spec(context.settings, observe=context.observe)
+    rs = context.execute(spec)
+    return reduce_fig16(rs, context.settings.mixes)
+
+
 # -- refresh sweep: policy x density grade (docs/REFRESH.md) -----------------
-
-
-#: DDR4 density grades the refresh sweep walks (tRFC grows with
-#: density, so the refresh tax rises left to right).
-REFRESH_SWEEP_DENSITIES: Tuple[str, ...] = ("4Gb", "8Gb", "16Gb")
 
 
 @dataclass
@@ -505,37 +537,25 @@ def refresh_platform() -> SystemConfig:
     """The sweep's platform: the headline VSB(EWLR+RAP,4P)+DDB config
     (its sub-banks are what the ``sarp`` policy refreshes under open
     neighbours)."""
-    return cfgs.vsb(EruConfig.full(4))
+    return refresh_platform_spec().to_config()
 
 
 def refresh_configs(densities: Sequence[str] = REFRESH_SWEEP_DENSITIES
                     ) -> List[SystemConfig]:
-    from repro.controller.scheduler import REFRESH_POLICIES
-    base = refresh_platform()
-    return [
-        replace(base, refresh_density=density, refresh_policy=policy,
-                name=f"{base.name}+ref-{policy}-{density}")
-        for density in densities
-        for policy in REFRESH_POLICIES
-    ]
+    return [cs.to_config() for cs in refresh_config_specs(densities)]
 
 
-def fig_refresh(context: ExperimentContext,
-                densities: Sequence[str] = REFRESH_SWEEP_DENSITIES
-                ) -> List[RefreshPoint]:
-    """Weighted speedup per refresh policy and density grade, normalised
-    to the refresh-off platform (the figure in ``docs/REFRESH.md``)."""
-    mixes = context.settings.mixes
+def reduce_figref(rs: ResultSet, mixes: Sequence[str],
+                  densities: Sequence[str]) -> List[RefreshPoint]:
+    """Pure refresh-sweep reducer, normalised to the refresh-off
+    platform."""
     base = refresh_platform()
-    configs = refresh_configs(densities)
-    context.prefetch([(config, mix) for config in [base] + configs
-                      for mix in mixes])
-    base_ws = {mix: context.mix_ws(base, mix)[0] for mix in mixes}
+    base_ws = {mix: rs.ws(base, mix)[0] for mix in mixes}
     points: List[RefreshPoint] = []
-    for config in configs:
+    for config in refresh_configs(densities):
         normalized, refreshes = [], 0
         for mix in mixes:
-            ws, result = context.mix_ws(config, mix)
+            ws, result = rs.ws(config, mix)
             normalized.append(ws / base_ws[mix])
             refreshes += result.stats.refreshes
         points.append(RefreshPoint(
@@ -544,6 +564,58 @@ def fig_refresh(context: ExperimentContext,
             normalized_ws=gmean(normalized),
             refreshes=refreshes))
     return points
+
+
+def fig_refresh(context: ExperimentContext,
+                densities: Sequence[str] = REFRESH_SWEEP_DENSITIES
+                ) -> List[RefreshPoint]:
+    """Weighted speedup per refresh policy and density grade, normalised
+    to the refresh-off platform (the figure in ``docs/REFRESH.md``)."""
+    spec = figref_spec(context.settings, densities,
+                       observe=context.observe)
+    rs = context.execute(spec)
+    return reduce_figref(rs, context.settings.mixes, densities)
+
+
+#: Pure reducer per named figure spec, for callers that execute specs
+#: directly through :func:`repro.sim.runner.run_spec`:
+#: ``FIGURE_REDUCERS[spec.name](rs, mixes)`` with the spec's default
+#: axes.
+FIGURE_REDUCERS: Dict[str, Callable[[ResultSet, Sequence[str]], object]] = {
+    "fig12": lambda rs, mixes: reduce_fig12(
+        rs, [cs.to_config() for cs in rs.spec.configs], mixes),
+    "fig13": lambda rs, mixes: reduce_fig13(
+        rs, mixes, rs.spec.fragmentations, FIG13_PLANES, FIG13_SCHEMES),
+    "fig14": lambda rs, mixes: reduce_fig14(
+        rs, mixes, FIG14_BUS_FREQUENCIES_HZ, CoreConfig()),
+    "fig15": reduce_fig15,
+    "fig16": reduce_fig16,
+    "figref": lambda rs, mixes: reduce_figref(
+        rs, mixes, REFRESH_SWEEP_DENSITIES),
+}
+
+
+#: Named figure runners: shim per spec in
+#: :data:`repro.sim.specs.NAMED_SPECS` (benches and the CLI resolve
+#: figures by name through this).
+FIGURES: Dict[str, Callable] = {
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "figref": fig_refresh,
+}
+
+
+def run_figure(name: str, context: ExperimentContext, **axes):
+    """Run one named figure spec through ``context`` and reduce it.
+
+    The thin entry point the benches wrap: resolves ``name`` in
+    :data:`FIGURES`, executes the figure's declarative spec against the
+    store (only absent cells simulate), and returns the reduced table.
+    """
+    return FIGURES[name](context, **axes)
 
 
 # -- stall-attribution sidecars ----------------------------------------------
@@ -571,7 +643,9 @@ def emit_stats_sidecars(context: ExperimentContext, directory: str,
     block naming the technology backend and the *effective* refresh
     policy -- ``sarp`` on a non-sub-banked organisation degrades to
     ``darp``, and the sidecar records the policy actually applied.
-    Returns the paths written, sorted.  Runs without accounting
+    Results restored from the store carry their persisted report, so
+    re-emitted sidecars are identical to the original run's.  Returns
+    the paths written, sorted.  Runs without accounting
     (``observe=False``) are skipped silently, so the helper is safe to
     call unconditionally.
     """

@@ -1,4 +1,4 @@
-"""Parallel grid execution and the persistent alone-IPC cache.
+"""Parallel grid execution over independent simulation cells.
 
 The experiment runners evaluate a *grid* of (configuration, workload)
 cells whose runs are mutually independent: traces are regenerated
@@ -9,19 +9,15 @@ list of :class:`SimJob` cells out over a ``ProcessPoolExecutor`` and
 returns results in submission order, which keeps every downstream
 aggregation (GMEAN tables, sweeps) bit-identical to a serial run.
 
-:class:`AloneIpcDiskCache` persists the most redundant part of the grid
--- the per-benchmark alone-IPC runs used by weighted speedup -- across
-*invocations*: the baseline alone-run for (benchmark, fragmentation,
-seed, accesses, core clock) never changes, so figs 12--15 share one
-on-disk JSON table instead of resimulating it per figure and per CLI
-call.  Set ``REPRO_CACHE_DIR`` to relocate it (e.g. to a pytest
-``tmp_path``); delete the directory to invalidate.
+Result persistence lives in :mod:`repro.sim.store` (the
+content-addressed store that subsumed the old alone-IPC table); the
+cache constants and :class:`~repro.sim.store.AloneIpcDiskCache`
+compatibility view are re-exported here for historical importers.
 """
 
 from __future__ import annotations
 
 import atexit
-import json
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -32,17 +28,12 @@ from typing import Dict, List, Optional, Sequence
 from repro.cpu.core import CoreConfig
 from repro.sim.config import SystemConfig
 from repro.sim.simulator import SimulationResult, run_traces
-
-#: Environment variable relocating the on-disk cache directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-#: Default cache directory (relative to the working directory).
-DEFAULT_CACHE_DIR = ".repro_cache"
-#: Bump to invalidate every persisted entry after a modelling change.
-#: v2: the tFAW four-activate window changed simulated IPCs.
-#: v3: keys gained the full alone-config digest -- the old 5-tuple key
-#: ignored refresh (and every other SystemConfig override), so a
-#: ``--refresh`` run could silently reuse a refresh-free alone-IPC.
-CACHE_VERSION = 3
+from repro.sim.store import (  # noqa: F401  (re-exports)
+    CACHE_DIR_ENV,
+    CACHE_VERSION,
+    DEFAULT_CACHE_DIR,
+    AloneIpcDiskCache,
+)
 
 #: Environment variable overriding :data:`DEFAULT_GRID_MIN_COST`: set it
 #: to ``0`` to force the pool path, or very high to force serial.
@@ -199,21 +190,35 @@ def _shutdown_warm_pool() -> None:
         _warm_pool = None
 
 
-def run_grid(jobs: Sequence[SimJob], workers: int = 1
-             ) -> List[SimulationResult]:
+def run_grid(jobs: Sequence[SimJob], workers: int = 1,
+             on_result=None) -> List[SimulationResult]:
     """Run every job, across ``workers`` processes, in submission order.
 
     ``workers <= 1`` (or a single job) runs serially in-process -- same
     results, no pool overhead -- so callers can pass their ``--jobs``
     value straight through.  Grids whose estimated cost (accesses x
     cores, summed) falls below :func:`grid_min_cost` also run serially:
-    pool startup costs more than the overlap recovers.  Larger grids go
-    to a warm :class:`ProcessPoolExecutor` that survives across calls.
+    pool startup costs more than the overlap recovers.  Callers that
+    diff against the result store submit only their missing cells, so
+    the gate prices exactly the work that will actually run.  Larger
+    grids go to a warm :class:`ProcessPoolExecutor` that survives
+    across calls.
+
+    ``on_result(index, result)`` streams completions in submission
+    order as they arrive (the spec runner uses it to persist each cell
+    to the store and report progress the moment it lands, so a killed
+    run keeps everything already finished).
     """
     jobs = list(jobs)
+    results: List[SimulationResult] = []
     if (workers <= 1 or len(jobs) <= 1
             or sum(_job_cost(job) for job in jobs) < grid_min_cost()):
-        return [_run_job(job) for job in jobs]
+        for index, job in enumerate(jobs):
+            result = _run_job(job)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
     # The warm pool is keyed by the requested worker count (not the
     # possibly smaller per-call pool size) so differently sized grids
     # share one executor.
@@ -223,70 +228,9 @@ def run_grid(jobs: Sequence[SimJob], workers: int = 1
     # a wide pool must not collapse to one chunk per worker short of
     # covering the list.
     chunk = max(1, len(jobs) // (min(workers, len(jobs)) * 4))
-    return list(pool.map(_run_job, jobs, chunksize=chunk))
-
-
-class AloneIpcDiskCache:
-    """Persistent {alone-run key: IPC} table shared by all runners.
-
-    The table is a single JSON file.  Writes are merge-on-write (the
-    file is re-read and updated before the atomic replace), so
-    concurrent invocations lose no entries -- at worst they both
-    recompute the same value, which is deterministic anyway.
-    """
-
-    def __init__(self, directory: Optional[str] = None) -> None:
-        if directory is None:
-            directory = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
-        self.directory = directory
-        self.path = os.path.join(directory, "alone_ipc.json")
-        self._data: Optional[Dict[str, float]] = None
-
-    @staticmethod
-    def key(config: SystemConfig, benchmark: str, fragmentation: float,
-            seed: int, accesses: int, clock_hz: float) -> str:
-        """Cache key for one alone run.
-
-        Includes the alone config's full digest
-        (:meth:`SystemConfig.digest`), not just the clock: any override
-        that changes simulated behaviour -- refresh density/policy,
-        tFAW, queue depths, energy -- must land in a different entry.
-        """
-        return (f"v{CACHE_VERSION}|{config.digest()}|{benchmark}"
-                f"|{fragmentation!r}|{seed}|{accesses}|{clock_hz!r}")
-
-    def _read_file(self) -> Dict[str, float]:
-        try:
-            with open(self.path) as fh:
-                data = json.load(fh)
-        except (OSError, ValueError):
-            return {}
-        return data if isinstance(data, dict) else {}
-
-    def _load(self) -> Dict[str, float]:
-        if self._data is None:
-            self._data = self._read_file()
-        return self._data
-
-    def get(self, key: str) -> Optional[float]:
-        return self._load().get(key)
-
-    def put_many(self, entries: Dict[str, float]) -> None:
-        if not entries:
-            return
-        # Freshest-last: overlay the re-read file *over* the in-memory
-        # snapshot (which may predate a concurrent writer's replace),
-        # then the new entries over both.  The old order let a stale
-        # snapshot shadow values another process had just persisted.
-        merged = dict(self._load())
-        merged.update(self._read_file())  # pick up concurrent writers
-        merged.update(entries)
-        self._data = merged
-        os.makedirs(self.directory, exist_ok=True)
-        tmp = f"{self.path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as fh:
-            json.dump(merged, fh, sort_keys=True)
-        os.replace(tmp, self.path)
-
-    def put(self, key: str, value: float) -> None:
-        self.put_many({key: value})
+    for index, result in enumerate(
+            pool.map(_run_job, jobs, chunksize=chunk)):
+        if on_result is not None:
+            on_result(index, result)
+        results.append(result)
+    return results

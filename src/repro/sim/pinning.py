@@ -1,0 +1,293 @@
+"""Reduced-output payloads and digests for every figure runner.
+
+The experiment-layer refactor (declarative specs + content-addressed
+store) carries one non-negotiable invariant: **every figure's numbers
+are identical to the pre-refactor path**.  This module freezes what
+"the numbers" are -- for each figure/table runner it renders the
+*reduced output* (the GMEAN tables, sweep points, quartile rows the
+benches print) into a canonical JSON-able payload and hashes it.
+
+``tools/pin_figure_digests.py`` ran these builders against the
+pre-refactor code and pinned the digests in
+``tests/data/figure_digests.json``; ``tests/sim/test_figure_digests.py``
+re-runs them through the refactored spec/store/runner path (cold store,
+warm store, serial and ``--jobs N``) and asserts equality digest by
+digest.  The builders therefore call only the *public* figure APIs
+(``fig12(context)`` and friends), whose signatures the refactor keeps
+as shims.
+
+Floats are carried verbatim: ``json.dumps`` round-trips Python floats
+exactly, so digest equality means bit-identical arithmetic, not
+"close enough".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, List
+
+from repro.sim.experiments import ExperimentContext, ExperimentSettings
+
+#: Scale the digests were pinned at: small enough for CI, large enough
+#: that every mechanism (EWLR, RAP, DDB, refresh) changes the numbers.
+PINNED_ACCESSES = 350
+PINNED_MIXES = ("mix0", "mix3")
+PINNED_FRAGMENTATION = 0.1
+PINNED_SEED = 0
+
+#: Reduced sweep axes (full sweeps would dominate the suite's runtime
+#: without covering more code paths).
+PINNED_FIG13_PLANES = (2, 4)
+PINNED_FIG13_FRAGS = (0.1, 0.5)
+PINNED_FIG14_FREQUENCIES = (1.333e9, 2.0e9)
+PINNED_FIGREF_DENSITIES = ("4Gb", "16Gb")
+
+#: Where the pinned digests live, relative to the repo root.
+PINNED_DIGESTS_PATH = "tests/data/figure_digests.json"
+
+
+def pinned_settings() -> ExperimentSettings:
+    """The :class:`ExperimentSettings` every pinned figure runs at."""
+    return ExperimentSettings(
+        accesses_per_core=PINNED_ACCESSES,
+        fragmentation=PINNED_FRAGMENTATION,
+        seed=PINNED_SEED,
+        mixes=PINNED_MIXES,
+    )
+
+
+def payload_digest(payload) -> str:
+    """SHA-256 over the canonical JSON rendering of one payload."""
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+# -- per-figure payload builders --------------------------------------------
+
+
+def _fig4_payload(context: ExperimentContext) -> dict:
+    from repro.analysis.plane_conflict import analyze_plane_conflicts
+    from repro.controller.mapping import skylake_mapping
+    from repro.workloads.generator import generate_traces
+    from repro.workloads.profiles import PROFILES
+
+    s = context.settings
+    names = ("mcf", "lbm", "gemsFDTD", "omnetpp")
+    traces = generate_traces([PROFILES[n] for n in names],
+                             s.accesses_per_core,
+                             fragmentation=s.fragmentation, seed=s.seed)
+    results = analyze_plane_conflicts(
+        traces, skylake_mapping(subbanked=True))
+    total = sum(len(t) for t in traces)
+    return {
+        "overlapping": results[2].overlapping,
+        "total": total,
+        "points": {
+            str(n): {"conflict": c.conflict_fraction(total),
+                     "no_conflict": c.no_conflict_fraction(total)}
+            for n, c in sorted(results.items())
+        },
+    }
+
+
+def _fig11_payload(context: ExperimentContext) -> list:
+    from repro.core.area import fig11_table
+    return [{"scheme": row.scheme, "planes": row.planes,
+             "overhead_pct": row.overhead_pct}
+            for row in fig11_table()]
+
+
+def _tab1_payload(context: ExperimentContext) -> list:
+    from repro.dram.timing import GENERATIONS
+    return [{"name": g.name, "bank_count": g.bank_count,
+             "channel_clock_mhz": g.channel_clock_mhz,
+             "core_clock_mhz": g.core_clock_mhz,
+             "internal_prefetch": g.internal_prefetch,
+             "tfaw_ns": g.tfaw_ns}
+            for g in GENERATIONS]
+
+
+def _tab3_payload(context: ExperimentContext) -> dict:
+    from repro.sim import config as cfgs
+    from repro.workloads.mixes import MIXES
+
+    configs = [cfgs.ddr4_baseline(), cfgs.bg32(), cfgs.ideal32(),
+               cfgs.vsb(), cfgs.paired_bank(), cfgs.half_dram(),
+               cfgs.masa(4), cfgs.masa(8), cfgs.masa_eruca(8)]
+    t = cfgs.ddr4_baseline().timing()
+    ddb_t = cfgs.vsb().timing()
+    return {
+        "configs": [{"name": c.name, "policy": c.bus_policy.name,
+                     "digest": c.digest()} for c in configs],
+        "timing": {"tCCD_S": t.tCCD_S, "tCCD_L": t.tCCD_L,
+                   "tWTR_S": t.tWTR_S, "tWTR_L": t.tWTR_L,
+                   "tTCW": ddb_t.tTCW, "tTWTRW": ddb_t.tTWTRW},
+        "mixes": {mix: {"members": list(names), "signature": sig}
+                  for mix, (names, sig) in MIXES.items()},
+    }
+
+
+def _fig12_payload(context: ExperimentContext) -> dict:
+    from repro.sim.experiments import fig12
+    table = fig12(context)
+    return {"values": table.values, "normalized": table.normalized(),
+            "gmeans": table.gmeans()}
+
+
+def _fig13_payload(context: ExperimentContext) -> list:
+    from repro.sim.experiments import fig13
+    points = fig13(context, fragmentations=PINNED_FIG13_FRAGS,
+                   planes=PINNED_FIG13_PLANES)
+    return [{"scheme": p.scheme, "planes": p.planes,
+             "fragmentation": p.fragmentation,
+             "normalized_ws": p.normalized_ws,
+             "plane_precharge_fraction": p.plane_precharge_fraction,
+             "ewlr_hit_rate": p.ewlr_hit_rate}
+            for p in points]
+
+
+def _fig14_payload(context: ExperimentContext) -> list:
+    from repro.sim.experiments import fig14
+    points = fig14(context, frequencies=PINNED_FIG14_FREQUENCIES)
+    return [{"config": p.config,
+             "bus_frequency_hz": p.bus_frequency_hz,
+             "normalized_ws": p.normalized_ws}
+            for p in points]
+
+
+def _fig15_payload(context: ExperimentContext) -> dict:
+    from repro.sim.experiments import fig15
+    return dict(fig15(context))
+
+
+def _fig16_payload(context: ExperimentContext) -> list:
+    from repro.sim.experiments import fig16
+    return [{"config": r.config, "latency_stats_ns": r.latency_stats_ns,
+             "background_energy": r.background_energy,
+             "activation_energy": r.activation_energy,
+             "total_energy": r.total_energy}
+            for r in fig16(context)]
+
+
+def _figref_payload(context: ExperimentContext) -> list:
+    from repro.sim.experiments import fig_refresh
+    points = fig_refresh(context, densities=PINNED_FIGREF_DENSITIES)
+    return [{"policy": p.policy, "density": p.density,
+             "normalized_ws": p.normalized_ws,
+             "refreshes": p.refreshes}
+            for p in points]
+
+
+def _ablation_payload(context: ExperimentContext) -> dict:
+    """A representative cell from each ablation sweep in
+    ``benchmarks/bench_ablation.py`` (hand-built systems that bypass the
+    preset path entirely -- the refactor must leave them untouched)."""
+    from dataclasses import replace
+
+    from repro.controller.controller import ChannelController
+    from repro.controller.mapping import (
+        AddressMapping, PlanePlacement, RowLayout)
+    from repro.controller.queue import QueueConfig
+    from repro.core.mechanisms import EruConfig
+    from repro.cpu.core import TraceCore
+    from repro.dram.bank import BankGeometry
+    from repro.dram.device import Channel
+    from repro.dram.resources import BusPolicy
+    from repro.dram.timing import ddr4_timings
+    from repro.sim.config import ddr4_baseline, vsb
+    from repro.sim.simulator import MemorySystem, Simulator, run_traces
+
+    traces = context.traces("mix0")
+
+    def run_custom(layout, ewlr, rap, policy=BusPolicy.DDB,
+                   timing=None, subbank_low=True):
+        if timing is None:
+            timing = ddr4_timings()
+            if policy is BusPolicy.DDB:
+                timing = timing.with_ddb_windows()
+        base = vsb()
+        system = MemorySystem(base)
+        mapping_cfg = replace(base.mapping().config,
+                              subbank_low=subbank_low)
+        system.mapping = AddressMapping(mapping_cfg, layout)
+        system.controllers = [
+            ChannelController(Channel(
+                timing, policy, base.bank_groups, base.banks_per_group,
+                BankGeometry(subbanks=2, row_bits=layout.row_bits),
+                row_layout=layout, ewlr=ewlr, rap=rap))
+            for _ in range(base.channels)
+        ]
+        cores = [TraceCore(t, core_id=i) for i, t in enumerate(traces)]
+        return Simulator(system, cores).run()
+
+    out: Dict[str, dict] = {}
+    # Plane-ID bit placement x RAP (Fig. 9's two mappings).
+    for rap in (False, True):
+        for placement in (PlanePlacement.LSB, PlanePlacement.MSB):
+            layout = RowLayout(row_bits=16, plane_count=4,
+                               plane_placement=placement, ewlr_bits=3)
+            res = run_custom(layout, ewlr=True, rap=rap)
+            out[f"plane rap={rap},placement={placement.value}"] = {
+                "ipc": sum(res.ipcs),
+                "plane_pre": res.plane_conflict_precharge_fraction,
+                "ewlr_hits": res.ewlr_hit_rate,
+            }
+    # Sub-bank ID bit position.
+    full_layout = EruConfig.full(4).row_layout()
+    for low in (True, False):
+        res = run_custom(full_layout, ewlr=True, rap=True,
+                         subbank_low=low)
+        out[f"subbank_low={low}"] = {"ipc": sum(res.ipcs)}
+    # Write-drain watermarks.
+    for high, lowm in ((24, 8), (31, 30)):
+        cfg = replace(ddr4_baseline(),
+                      queue=QueueConfig(drain_high=high, drain_low=lowm),
+                      name=f"drain {high}/{lowm}")
+        res = run_traces(cfg, traces)
+        out[cfg.name] = {"ipc": sum(res.ipcs)}
+    # Page policy.
+    for label, idle in (("open page", None), ("close@400ns", 400_000)):
+        cfg = replace(ddr4_baseline(), idle_close_ps=idle, name=label)
+        res = run_traces(cfg, traces)
+        out[f"page {label}"] = {"ipc": sum(res.ipcs)}
+    # DDB two-command windows at a fast channel.
+    fast = ddr4_timings(2.4e9)
+    for label, timing in (("tTCW on", fast.with_ddb_windows()),
+                          ("tTCW off", fast)):
+        res = run_custom(full_layout, ewlr=True, rap=True, timing=timing)
+        out[f"ddb {label}"] = {"ipc": sum(res.ipcs)}
+    return out
+
+
+#: Every pinned runner, in pin/verification order.
+FIGURE_BUILDERS: Dict[str, Callable[[ExperimentContext], object]] = {
+    "fig4": _fig4_payload,
+    "fig11": _fig11_payload,
+    "tab1": _tab1_payload,
+    "tab3": _tab3_payload,
+    "fig12": _fig12_payload,
+    "fig13": _fig13_payload,
+    "fig14": _fig14_payload,
+    "fig15": _fig15_payload,
+    "fig16": _fig16_payload,
+    "figref": _figref_payload,
+    "ablation": _ablation_payload,
+}
+
+
+def figure_payload(name: str, context: ExperimentContext):
+    """The reduced output of one figure runner as a JSON-able payload."""
+    return FIGURE_BUILDERS[name](context)
+
+
+def all_figure_digests(context: ExperimentContext) -> Dict[str, str]:
+    """{figure name: payload digest} over every pinned runner."""
+    return {name: payload_digest(builder(context))
+            for name, builder in FIGURE_BUILDERS.items()}
+
+
+def load_pinned_digests(path: str = PINNED_DIGESTS_PATH) -> dict:
+    """The pinned digest table written by ``tools/pin_figure_digests.py``."""
+    with open(path) as fh:
+        return json.load(fh)

@@ -1,0 +1,560 @@
+"""Declarative experiment specs: factors x levels -> grid cells.
+
+An :class:`ExperimentSpec` is a frozen, digest-able description of one
+experiment grid -- which configurations (as :class:`ConfigSpec`
+factors, not materialized objects), which mixes, at what scale, over
+which fragmentations / seeds / reps.  :meth:`ExperimentSpec.expand`
+turns it into a deterministic list of :class:`CellKey` cells, each of
+which maps 1:1 onto a content address in the result store
+(:mod:`repro.sim.store`): the spec is the *what*, the runner
+(:mod:`repro.sim.runner`) is the *how*, and the figure reducers in
+:mod:`repro.sim.experiments` are pure functions over the cell results.
+
+Specs round-trip through JSON (``repro run my_spec.json``) and their
+digest is canonical-JSON based, so it is stable under dict ordering:
+two specs with the same factors digest identically no matter how the
+JSON was written.  The named builders at the bottom reproduce every
+paper figure's grid declaratively; ``repro run fig12`` resolves through
+:data:`NAMED_SPECS`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mechanisms import EruConfig
+from repro.cpu.core import CoreConfig
+from repro.dram.timing import FIG14_BUS_FREQUENCIES_HZ
+from repro.sim import config as cfgs
+from repro.sim.config import SystemConfig
+from repro.sim.store import store_key
+from repro.workloads.mixes import MIX_NAMES, MIXES
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scale knobs shared by all experiment runners."""
+
+    accesses_per_core: int = 2500
+    fragmentation: float = 0.1
+    seed: int = 0
+    mixes: Tuple[str, ...] = MIX_NAMES
+
+    def quick(self) -> "ExperimentSettings":
+        """A cut-down version for smoke tests."""
+        return replace(self, accesses_per_core=600,
+                       mixes=self.mixes[:2])
+
+
+#: Preset factories a :class:`ConfigSpec` may name.  Mechanism-taking
+#: factories receive the spec's :class:`MechanismSpec` as an
+#: :class:`EruConfig` first positional argument.
+PRESETS: Dict[str, Callable[..., SystemConfig]] = {
+    "ddr4_baseline": cfgs.ddr4_baseline,
+    "bg32": cfgs.bg32,
+    "ideal32": cfgs.ideal32,
+    "vsb": cfgs.vsb,
+    "paired_bank": cfgs.paired_bank,
+    "masa": cfgs.masa,
+    "half_dram": cfgs.half_dram,
+    "masa_eruca": cfgs.masa_eruca,
+    "pcm_palp": cfgs.pcm_palp,
+    "gddr5": cfgs.gddr5,
+}
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """JSON-able mirror of :class:`~repro.core.mechanisms.EruConfig`."""
+
+    planes: int = 4
+    ewlr: bool = True
+    rap: bool = True
+    ddb: bool = True
+    ewlr_bits: int = 3
+    row_bits: int = 16
+
+    @classmethod
+    def from_eru(cls, eru: EruConfig) -> "MechanismSpec":
+        return cls(planes=eru.planes, ewlr=eru.ewlr, rap=eru.rap,
+                   ddb=eru.ddb, ewlr_bits=eru.ewlr_bits,
+                   row_bits=eru.row_bits)
+
+    def to_eru(self) -> EruConfig:
+        return EruConfig(planes=self.planes, ewlr=self.ewlr,
+                         rap=self.rap, ddb=self.ddb,
+                         ewlr_bits=self.ewlr_bits,
+                         row_bits=self.row_bits)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """One configuration factor: preset + mechanism + overrides.
+
+    Materializes (:meth:`to_config`) into exactly the
+    :class:`SystemConfig` the historical ``figN_configs()`` helpers
+    built, so spec-driven grids land on the same digests.  ``inline``
+    is an escape hatch for callers that already hold a
+    :class:`SystemConfig` (e.g. ``fig12(context, configs=[...])``) --
+    inline specs still expand and digest, but cannot serialize to JSON.
+    """
+
+    preset: str = "ddr4_baseline"
+    mechanism: Optional[MechanismSpec] = None
+    #: Extra positional arguments after the mechanism (JSON scalars
+    #: only), e.g. ``("masa", args=(4,))`` for ``masa(4)``.
+    args: Tuple = ()
+    #: Keyword arguments as (name, value) pairs, e.g.
+    #: ``(("ddb", False),)`` for ``masa_eruca(8, ddb=False)``.
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+    #: Re-derive the config at this bus frequency
+    #: (:meth:`SystemConfig.at_frequency`).
+    frequency_hz: Optional[float] = None
+    refresh_density: Optional[str] = None
+    refresh_policy: Optional[str] = None
+    #: Final display name override (applied last).
+    rename: Optional[str] = None
+    #: CPU-clock scale factor for this configuration's cells (Fig. 14
+    #: scales the cores along with the channel).
+    core_scale: float = 1.0
+    inline: Optional[SystemConfig] = None
+
+    def to_config(self) -> SystemConfig:
+        """Materialize the described :class:`SystemConfig`."""
+        if self.inline is not None:
+            config = self.inline
+        else:
+            factory = PRESETS.get(self.preset)
+            if factory is None:
+                raise ValueError(f"unknown preset {self.preset!r}; "
+                                 f"one of {sorted(PRESETS)}")
+            pos: List[object] = []
+            if self.mechanism is not None:
+                pos.append(self.mechanism.to_eru())
+            pos.extend(self.args)
+            config = factory(*pos, **dict(self.kwargs))
+        if self.frequency_hz is not None:
+            config = config.at_frequency(self.frequency_hz)
+        overrides: Dict[str, object] = {}
+        if self.refresh_density is not None:
+            overrides["refresh_density"] = self.refresh_density
+        if self.refresh_policy is not None:
+            overrides["refresh_policy"] = self.refresh_policy
+        if self.rename is not None:
+            overrides["name"] = self.rename
+        if overrides:
+            config = replace(config, **overrides)
+        return config
+
+    def payload(self) -> dict:
+        """Digest payload (inline configs contribute their digest)."""
+        out = {
+            "preset": self.preset,
+            "mechanism": (self.mechanism.to_dict()
+                          if self.mechanism else None),
+            "args": list(self.args),
+            "kwargs": [[k, v] for k, v in self.kwargs],
+            "frequency_hz": self.frequency_hz,
+            "refresh_density": self.refresh_density,
+            "refresh_policy": self.refresh_policy,
+            "rename": self.rename,
+            "core_scale": self.core_scale,
+        }
+        if self.inline is not None:
+            out["inline"] = self.inline.digest()
+        return out
+
+    def to_dict(self) -> dict:
+        if self.inline is not None:
+            raise ValueError(
+                "inline ConfigSpecs cannot serialize to JSON; name a "
+                "preset instead")
+        return self.payload()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfigSpec":
+        mech = data.get("mechanism")
+        return cls(
+            preset=data.get("preset", "ddr4_baseline"),
+            mechanism=MechanismSpec(**mech) if mech else None,
+            args=tuple(data.get("args") or ()),
+            kwargs=tuple((k, v) for k, v in (data.get("kwargs") or ())),
+            frequency_hz=data.get("frequency_hz"),
+            refresh_density=data.get("refresh_density"),
+            refresh_policy=data.get("refresh_policy"),
+            rename=data.get("rename"),
+            core_scale=data.get("core_scale", 1.0),
+        )
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """One grid cell: a materialized config on one workload.
+
+    ``kind`` is ``"mix"`` (a multi-programmed run of the named mix) or
+    ``"alone"`` (a single-benchmark run on the alone baseline -- the
+    weighted-speedup denominator).  The key is hashable, and
+    :meth:`store_key` is its content address in the result store.
+    """
+
+    kind: str
+    config: SystemConfig
+    workload: str
+    accesses: int
+    fragmentation: float
+    seed: int
+    core_config: CoreConfig
+
+    def store_key(self) -> str:
+        return store_key(
+            self.config, accesses=self.accesses,
+            fragmentation=self.fragmentation, seed=self.seed,
+            mix=self.workload if self.kind == "mix" else None,
+            benchmark=self.workload if self.kind == "alone" else None,
+            core_config=self.core_config)
+
+    def describe(self) -> dict:
+        """Human-readable summary for ``repro cells`` and store
+        ``key`` sidecars."""
+        return {
+            "kind": self.kind,
+            "config": self.config.name,
+            "config_digest": self.config.digest(),
+            "workload": self.workload,
+            "accesses": self.accesses,
+            "fragmentation": self.fragmentation,
+            "seed": self.seed,
+            "clock_hz": self.core_config.clock_hz,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A full experiment grid: configs x mixes x frags x seeds x reps."""
+
+    name: str
+    configs: Tuple[ConfigSpec, ...]
+    mixes: Tuple[str, ...]
+    accesses_per_core: int = 2500
+    fragmentations: Tuple[float, ...] = (0.1,)
+    seeds: Tuple[int, ...] = (0,)
+    #: Replications: rep ``r`` of seed ``s`` runs at seed ``s + r``.
+    reps: int = 1
+    #: Also expand the member benchmarks' alone runs (the
+    #: weighted-speedup denominators) on the ``alone`` baseline.
+    include_alone: bool = True
+    #: Attach cycle accounting to every mix cell.
+    observe: bool = False
+    alone: ConfigSpec = ConfigSpec("ddr4_baseline")
+
+    # -- factor helpers ------------------------------------------------
+
+    def expanded_seeds(self) -> Tuple[int, ...]:
+        """Seeds after replication, deduplicated in first-seen order."""
+        seen: List[int] = []
+        for seed in self.seeds:
+            for rep in range(max(1, self.reps)):
+                if seed + rep not in seen:
+                    seen.append(seed + rep)
+        return tuple(seen)
+
+    def settings(self) -> ExperimentSettings:
+        """The equivalent single-(frag, seed) settings (first levels)."""
+        return ExperimentSettings(
+            accesses_per_core=self.accesses_per_core,
+            fragmentation=self.fragmentations[0],
+            seed=self.expanded_seeds()[0], mixes=self.mixes)
+
+    # -- expansion -----------------------------------------------------
+
+    def expand(self, core_config: CoreConfig = CoreConfig()
+               ) -> List[CellKey]:
+        """The grid as a deterministic cell list.
+
+        Iteration order is seed-major, then fragmentation, then config,
+        then mix, with each mix's not-yet-seen alone cells emitted just
+        before it -- the order the historical runners evaluated in.
+        The list is duplicate-free: repeated (config, mix) factor
+        combinations collapse onto one cell.
+        """
+        alone_config = self.alone.to_config()
+        cells: List[CellKey] = []
+        seen = set()
+
+        def emit(cell: CellKey) -> None:
+            if cell not in seen:
+                seen.add(cell)
+                cells.append(cell)
+
+        for seed in self.expanded_seeds():
+            for frag in self.fragmentations:
+                for cs in self.configs:
+                    config = cs.to_config()
+                    core = (core_config if cs.core_scale == 1.0
+                            else core_config.scaled(cs.core_scale))
+                    for mix in self.mixes:
+                        if self.include_alone:
+                            for benchmark in MIXES[mix][0]:
+                                emit(CellKey(
+                                    kind="alone", config=alone_config,
+                                    workload=benchmark,
+                                    accesses=self.accesses_per_core,
+                                    fragmentation=frag, seed=seed,
+                                    core_config=core))
+                        emit(CellKey(
+                            kind="mix", config=config, workload=mix,
+                            accesses=self.accesses_per_core,
+                            fragmentation=frag, seed=seed,
+                            core_config=core))
+        return cells
+
+    # -- digest + JSON round-trip --------------------------------------
+
+    def payload(self) -> dict:
+        return {
+            "name": self.name,
+            "configs": [cs.payload() for cs in self.configs],
+            "mixes": list(self.mixes),
+            "accesses_per_core": self.accesses_per_core,
+            "fragmentations": list(self.fragmentations),
+            "seeds": list(self.seeds),
+            "reps": self.reps,
+            "include_alone": self.include_alone,
+            "observe": self.observe,
+            "alone": self.alone.payload(),
+        }
+
+    def digest(self) -> str:
+        """Canonical-JSON SHA-256: stable across dict/key ordering."""
+        canon = json.dumps(self.payload(), sort_keys=True,
+                           separators=(",", ":"))
+        return hashlib.sha256(canon.encode()).hexdigest()
+
+    def to_dict(self) -> dict:
+        out = self.payload()
+        out["configs"] = [cs.to_dict() for cs in self.configs]
+        out["alone"] = self.alone.to_dict()
+        return out
+
+    def to_json(self, **kwargs) -> str:
+        kwargs.setdefault("indent", 2)
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        alone = data.get("alone")
+        return cls(
+            name=data.get("name", "spec"),
+            configs=tuple(ConfigSpec.from_dict(c)
+                          for c in data["configs"]),
+            mixes=tuple(data["mixes"]),
+            accesses_per_core=data.get("accesses_per_core", 2500),
+            fragmentations=tuple(data.get("fragmentations") or (0.1,)),
+            seeds=tuple(data.get("seeds") or (0,)),
+            reps=data.get("reps", 1),
+            include_alone=data.get("include_alone", True),
+            observe=data.get("observe", False),
+            alone=(ConfigSpec.from_dict(alone) if alone
+                   else ConfigSpec("ddr4_baseline")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def load_spec(path: str) -> ExperimentSpec:
+    """Read an :class:`ExperimentSpec` from a JSON file."""
+    with open(path) as fh:
+        return ExperimentSpec.from_json(fh.read())
+
+
+# -- named figure specs ------------------------------------------------------
+
+
+def _mech(eru: EruConfig) -> MechanismSpec:
+    return MechanismSpec.from_eru(eru)
+
+
+def _vsb(eru: EruConfig) -> ConfigSpec:
+    return ConfigSpec("vsb", mechanism=_mech(eru))
+
+
+def _base_fields(settings: ExperimentSettings, observe: bool) -> dict:
+    return dict(mixes=settings.mixes,
+                accesses_per_core=settings.accesses_per_core,
+                fragmentations=(settings.fragmentation,),
+                seeds=(settings.seed,), observe=observe)
+
+
+#: Fig. 13 scheme axis: label -> mechanism factory over plane count.
+FIG13_SCHEMES: Tuple[Tuple[str, Callable[[int], EruConfig]], ...] = (
+    ("VSB(naive)+DDB", EruConfig.naive_ddb),
+    ("VSB(EWLR)+DDB", EruConfig.ewlr_only),
+    ("VSB(RAP)+DDB", EruConfig.rap_only),
+    ("VSB(EWLR+RAP)+DDB", EruConfig.full),
+)
+FIG13_PLANES = (2, 4, 8, 16)
+
+#: DDR4 density grades the refresh sweep walks (tRFC grows with
+#: density, so the refresh tax rises left to right).
+REFRESH_SWEEP_DENSITIES: Tuple[str, ...] = ("4Gb", "8Gb", "16Gb")
+
+
+#: Fig. 12 comparison set (plus the paired-bank variants), baseline
+#: first (it is also the normalisation denominator).
+FIG12_CONFIG_SPECS: Tuple[ConfigSpec, ...] = (
+    ConfigSpec("ddr4_baseline"),
+    _vsb(EruConfig.naive(4)),
+    _vsb(EruConfig.naive_ddb(4)),
+    _vsb(EruConfig.full(4)),
+    ConfigSpec("bg32"),
+    ConfigSpec("ideal32"),
+    ConfigSpec("paired_bank",
+               mechanism=_mech(EruConfig.full(4, ddb=False))),
+    ConfigSpec("paired_bank",
+               mechanism=_mech(EruConfig.full(4, ddb=True))),
+)
+
+#: Fig. 14 platforms (without the baseline), before frequency scaling.
+FIG14_CONFIG_SPECS: Tuple[ConfigSpec, ...] = (
+    _vsb(EruConfig.full(4, ddb=False)),   # VSB(EWLR+RAP)+BG
+    _vsb(EruConfig.full(4, ddb=True)),    # VSB(EWLR+RAP)+DDB
+    ConfigSpec("bg32"),
+    ConfigSpec("ideal32"),
+)
+
+#: Fig. 15 prior-work comparison set (without the baseline).
+FIG15_CONFIG_SPECS: Tuple[ConfigSpec, ...] = (
+    ConfigSpec("half_dram"),
+    _vsb(EruConfig.full(4, ddb=False)),
+    _vsb(EruConfig.full(4, ddb=True)),
+    ConfigSpec("masa", args=(4,)),
+    ConfigSpec("masa", args=(8,)),
+    ConfigSpec("masa_eruca", args=(8,), kwargs=(("ddb", False),)),
+    ConfigSpec("masa_eruca", args=(8,), kwargs=(("ddb", True),)),
+    ConfigSpec("ideal32"),
+)
+
+#: Fig. 16 latency/energy rows.
+FIG16_CONFIG_SPECS: Tuple[ConfigSpec, ...] = (
+    ConfigSpec("ddr4_baseline"),
+    _vsb(EruConfig.full(4, ddb=True)),
+    ConfigSpec("ideal32"),
+)
+
+
+def fig12_spec(settings: ExperimentSettings,
+               observe: bool = False) -> ExperimentSpec:
+    """The Fig. 12 comparison set (plus the paired-bank variants)."""
+    return ExperimentSpec(name="fig12", configs=FIG12_CONFIG_SPECS,
+                          **_base_fields(settings, observe))
+
+
+def fig13_spec(settings: ExperimentSettings,
+               fragmentations: Sequence[float] = (0.1, 0.5),
+               planes: Sequence[int] = FIG13_PLANES,
+               schemes=FIG13_SCHEMES,
+               observe: bool = False) -> ExperimentSpec:
+    """Plane-count sensitivity sweep: schemes x planes x frag."""
+    fields = _base_fields(settings, observe)
+    fields["fragmentations"] = tuple(fragmentations)
+    return ExperimentSpec(
+        name="fig13",
+        configs=(ConfigSpec("ddr4_baseline"),)
+        + tuple(_vsb(make(n)) for _, make in schemes for n in planes),
+        **fields)
+
+
+def fig14_spec(settings: ExperimentSettings,
+               frequencies: Sequence[float] = FIG14_BUS_FREQUENCIES_HZ,
+               observe: bool = False) -> ExperimentSpec:
+    """Channel-frequency sweep; CPU clocks scale with the channel."""
+    base_freq = frequencies[0]
+    specs: List[ConfigSpec] = []
+    for freq in frequencies:
+        scale = freq / base_freq
+        for cs in (ConfigSpec("ddr4_baseline"),) + FIG14_CONFIG_SPECS:
+            specs.append(replace(cs, frequency_hz=freq,
+                                 core_scale=scale))
+    return ExperimentSpec(name="fig14", configs=tuple(specs),
+                          **_base_fields(settings, observe))
+
+
+def fig15_spec(settings: ExperimentSettings,
+               observe: bool = False) -> ExperimentSpec:
+    """Prior sub-banking work comparison set."""
+    return ExperimentSpec(
+        name="fig15",
+        configs=(ConfigSpec("ddr4_baseline"),) + FIG15_CONFIG_SPECS,
+        **_base_fields(settings, observe))
+
+
+def fig16_spec(settings: ExperimentSettings,
+               observe: bool = False) -> ExperimentSpec:
+    """Latency/energy rows (no weighted speedup, so no alone cells)."""
+    fields = _base_fields(settings, observe)
+    return ExperimentSpec(name="fig16", configs=FIG16_CONFIG_SPECS,
+                          include_alone=False, **fields)
+
+
+def refresh_platform_spec() -> ConfigSpec:
+    """The refresh sweep's platform: VSB(EWLR+RAP,4P)+DDB."""
+    return _vsb(EruConfig.full(4))
+
+
+def refresh_config_specs(
+        densities: Sequence[str] = REFRESH_SWEEP_DENSITIES
+        ) -> Tuple[ConfigSpec, ...]:
+    """The sweep factors: the platform per (density, policy) pair."""
+    from repro.controller.scheduler import REFRESH_POLICIES
+    base = refresh_platform_spec()
+    base_name = base.to_config().name
+    return tuple(
+        replace(base, refresh_density=density, refresh_policy=policy,
+                rename=f"{base_name}+ref-{policy}-{density}")
+        for density in densities
+        for policy in REFRESH_POLICIES)
+
+
+def figref_spec(settings: ExperimentSettings,
+                densities: Sequence[str] = REFRESH_SWEEP_DENSITIES,
+                observe: bool = False) -> ExperimentSpec:
+    """Refresh policy x density sweep over the VSB platform."""
+    return ExperimentSpec(
+        name="figref",
+        configs=(refresh_platform_spec(),)
+        + refresh_config_specs(densities),
+        **_base_fields(settings, observe))
+
+
+#: ``repro run <name>`` / ``repro cells <name>`` resolve through this:
+#: each builder takes (settings, observe=...) and returns the figure's
+#: full grid spec.
+NAMED_SPECS: Dict[str, Callable[..., ExperimentSpec]] = {
+    "fig12": fig12_spec,
+    "fig13": fig13_spec,
+    "fig14": fig14_spec,
+    "fig15": fig15_spec,
+    "fig16": fig16_spec,
+    "figref": figref_spec,
+}
+
+
+def resolve_spec(name_or_path: str,
+                 settings: Optional[ExperimentSettings] = None,
+                 observe: bool = False) -> ExperimentSpec:
+    """A spec from a registry name or a JSON file path."""
+    builder = NAMED_SPECS.get(name_or_path)
+    if builder is not None:
+        return builder(settings or ExperimentSettings(), observe=observe)
+    return load_spec(name_or_path)

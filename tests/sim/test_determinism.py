@@ -79,9 +79,12 @@ def test_disk_cache_round_trip(tmp_path):
 
 def test_disk_cache_survives_corruption(tmp_path):
     cache = AloneIpcDiskCache(str(tmp_path))
-    with open(cache.path, "w") as fh:
+    cache.put("k", 1.0)
+    # Corrupt the entry in place: it must read as a miss, and a re-put
+    # must repair it.
+    with open(cache.path_for("k"), "w") as fh:
         fh.write("{not json")
-    assert cache.get("anything") is None
+    assert cache.get("k") is None
     cache.put("k", 1.0)
     assert AloneIpcDiskCache(str(tmp_path)).get("k") == 1.0
 
@@ -91,14 +94,18 @@ def test_context_alone_ipc_uses_disk_cache(tmp_path, monkeypatch):
     settings = ExperimentSettings(accesses_per_core=250, mixes=("mix0",))
     first = ExperimentContext(settings)
     value = first.alone_ipc("mcf")
-    with open(first.disk_cache.path) as fh:
-        persisted = json.load(fh)
-    assert list(persisted.values()) == [value]
-    # A second context must serve the value from disk: poison the file
-    # with a sentinel and observe it coming back.
+    key = AloneIpcDiskCache.key(cfgs.ddr4_baseline(), "mcf", 0.1, 0,
+                                250, CoreConfig().clock_hz)
+    path = first.store.path_for(key)
+    with open(path) as fh:
+        entry = json.load(fh)
+    assert entry["result"]["ipcs"][0] == value
+    # A second context must serve the value from disk: poison the
+    # stored entry with a sentinel and observe it coming back.
     sentinel = 42.0
-    with open(first.disk_cache.path, "w") as fh:
-        json.dump({k: sentinel for k in persisted}, fh)
+    entry["result"]["ipcs"][0] = sentinel
+    with open(path, "w") as fh:
+        json.dump(entry, fh)
     second = ExperimentContext(settings)
     assert second.alone_ipc("mcf") == sentinel
 
@@ -141,9 +148,7 @@ def test_cache_key_includes_full_config_digest(tmp_path, monkeypatch):
     ExperimentContext(settings).alone_ipc("mcf")
     second = ExperimentContext(settings, alone_config=refreshed)
     second.alone_ipc("mcf")
-    with open(second.disk_cache.path) as fh:
-        persisted = json.load(fh)
-    assert len(persisted) == 2
+    assert len(second.store) == 2
 
 
 def test_disk_cache_two_writers_freshest_wins(tmp_path):

@@ -1,0 +1,121 @@
+"""Kill-and-resume semantics of the spec runner.
+
+The resume guarantee: every finished cell is persisted the moment it
+lands, so resubmitting an interrupted sweep re-runs only what is
+absent.  The :class:`~repro.sim.runner.RunReport` counters are the
+proof -- the same counters the CI resume-smoke step asserts on.
+"""
+
+import pytest
+
+from repro.sim import parallel
+from repro.sim.experiments import ExperimentContext
+from repro.sim.runner import RunReport, execute_cells, run_spec
+from repro.sim.specs import ExperimentSettings, fig16_spec
+from repro.sim.store import ResultStore
+
+SETTINGS = ExperimentSettings(accesses_per_core=250, mixes=("mix0",))
+
+
+def test_killed_run_resumes_from_the_store(tmp_path):
+    """Run a prefix of a grid, 'die', resubmit the whole spec: only the
+    absent suffix simulates."""
+    spec = fig16_spec(SETTINGS)
+    cells = spec.expand()
+    assert len(cells) >= 3
+    store = ResultStore(str(tmp_path))
+    # First life: the run is killed after two cells -- modelled by
+    # executing only the first two (each put lands atomically on
+    # completion, so a real SIGKILL preserves exactly the finished
+    # prefix).
+    partial = execute_cells(cells[:2], results={}, store=store)
+    assert partial.submitted == 2
+    # Second life: fresh process (fresh memory cache, fresh store
+    # instance), same spec.
+    _, report = run_spec(spec, store=ResultStore(str(tmp_path)))
+    assert report.cells == len(cells)
+    assert report.store_hits == 2
+    assert report.submitted == len(cells) - 2
+    assert report.memory_hits == 0
+    # Third life: nothing left to do.
+    _, report = run_spec(spec, store=ResultStore(str(tmp_path)))
+    assert report.submitted == 0
+    assert report.store_hits == len(cells)
+    assert "submitted=0" in report.summary()
+
+
+def test_results_stream_to_the_store_as_they_land(tmp_path):
+    """Each cell is persisted before the next one runs -- the property
+    that makes a mid-grid kill resumable at cell granularity."""
+    spec = fig16_spec(SETTINGS)
+    store = ResultStore(str(tmp_path))
+    stored_when_seen = []
+
+    def progress(cell, status):
+        if status == "run":
+            stored_when_seen.append(store.contains(cell.store_key()))
+
+    run_spec(spec, store=store, progress=progress)
+    assert stored_when_seen and all(stored_when_seen)
+
+
+def test_progress_reports_each_cell_once(tmp_path):
+    spec = fig16_spec(SETTINGS)
+    seen = []
+    run_spec(spec, store=ResultStore(str(tmp_path)),
+             progress=lambda cell, status: seen.append((cell, status)))
+    cells = spec.expand()
+    assert sorted(c.store_key() for c, _ in seen) == \
+        sorted(c.store_key() for c in cells)
+    assert {status for _, status in seen} == {"run"}
+
+
+def test_memory_hits_take_precedence_over_the_store(tmp_path):
+    spec = fig16_spec(SETTINGS)
+    store = ResultStore(str(tmp_path))
+    results = {}
+    execute_cells(spec.expand(), results=results, store=store)
+    report = execute_cells(spec.expand(), results=results, store=store)
+    assert report.memory_hits == report.cells
+    assert report.store_hits == report.submitted == 0
+
+
+def test_cost_gate_prices_only_post_diff_cells(tmp_path, monkeypatch):
+    """A mostly-cached grid re-run with ``--jobs N`` must stay serial:
+    the store diff happens before ``run_grid``, so the cost gate sums
+    only the missing cells and never warms a pool for a trickle."""
+    parallel._shutdown_warm_pool()
+    # The gate default (50k) dwarfs this grid's total cost, but force
+    # the point: even a fully *cold* run here stays under it.
+    spec = fig16_spec(SETTINGS)
+    store = ResultStore(str(tmp_path))
+    run_spec(spec, store=store, jobs=8)
+    assert parallel._warm_pool is None
+    # Warm store + one missing cell (drop one entry): still serial.
+    victim = spec.expand()[0]
+    import os
+    os.remove(store.path_for(victim.store_key()))
+    _, report = run_spec(spec, store=store, jobs=8)
+    assert report.submitted == 1
+    assert parallel._warm_pool is None
+
+
+def test_context_run_cells_syncs_counters(tmp_path, monkeypatch):
+    """The experiment-context wrapper surfaces the same counters via
+    ``last_report`` (what ``repro run <spec>`` prints)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    spec = fig16_spec(SETTINGS)
+    first = ExperimentContext(SETTINGS)
+    first.execute(spec)
+    assert first.last_report.submitted == len(spec.expand())
+    second = ExperimentContext(SETTINGS)
+    second.execute(spec)
+    assert second.last_report.submitted == 0
+    assert second.last_report.store_hits == len(spec.expand())
+
+
+def test_run_report_summary_is_greppable():
+    report = RunReport(cells=7, memory_hits=1, store_hits=2,
+                       submitted=4)
+    assert report.summary() == \
+        "cells=7 memory_hits=1 store_hits=2 submitted=4"

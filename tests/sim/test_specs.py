@@ -1,0 +1,134 @@
+"""Declarative specs: digests, JSON round-trips, expansion.
+
+A spec's digest must be a function of its *factors*, not of how the
+JSON happened to be keyed or which builder produced it, and expansion
+must be deterministic and duplicate-free -- the runner's resume
+guarantee rests on both.
+"""
+
+import json
+
+import pytest
+
+from repro.core.mechanisms import EruConfig
+from repro.cpu.core import CoreConfig
+from repro.sim import config as cfgs
+from repro.sim.specs import (
+    NAMED_SPECS,
+    ConfigSpec,
+    ExperimentSettings,
+    ExperimentSpec,
+    MechanismSpec,
+    fig12_spec,
+    fig13_spec,
+    fig14_spec,
+    load_spec,
+    resolve_spec,
+)
+
+SETTINGS = ExperimentSettings(accesses_per_core=300,
+                              mixes=("mix0", "mix3"))
+
+
+def test_digest_stable_across_dict_key_ordering():
+    spec = fig12_spec(SETTINGS)
+    data = spec.to_dict()
+    # Re-serialise with reversed key order at every level: the same
+    # factors written differently must parse to the same digest.
+    shuffled = json.loads(json.dumps(data, sort_keys=True))
+    reversed_text = json.dumps(
+        {k: shuffled[k] for k in sorted(shuffled, reverse=True)})
+    assert ExperimentSpec.from_json(reversed_text).digest() == \
+        spec.digest()
+
+
+def test_json_round_trip_preserves_factors_and_cells():
+    spec = fig14_spec(SETTINGS, frequencies=(1.333e9, 2.0e9))
+    again = ExperimentSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.digest() == spec.digest()
+    assert again.expand() == spec.expand()
+
+
+def test_load_spec_from_file(tmp_path):
+    spec = fig12_spec(SETTINGS)
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    assert load_spec(str(path)).digest() == spec.digest()
+    assert resolve_spec(str(path)).digest() == spec.digest()
+
+
+def test_named_specs_resolve():
+    for name in NAMED_SPECS:
+        spec = resolve_spec(name, SETTINGS)
+        assert spec.name == name
+        assert spec.expand(), name
+
+
+def test_expansion_is_deterministic_and_duplicate_free():
+    spec = fig13_spec(SETTINGS, fragmentations=(0.1, 0.5),
+                      planes=(2, 4))
+    cells = spec.expand()
+    assert cells == spec.expand()
+    assert len(cells) == len(set(cells))
+    # Repeated factor combinations collapse: doubling the config list
+    # and the mix list adds no cells.
+    fat = ExperimentSpec(name="fat", configs=spec.configs * 2,
+                         mixes=spec.mixes * 2,
+                         accesses_per_core=spec.accesses_per_core,
+                         fragmentations=spec.fragmentations)
+    assert len(fat.expand()) == len(
+        ExperimentSpec(name="thin", configs=spec.configs,
+                       mixes=spec.mixes,
+                       accesses_per_core=spec.accesses_per_core,
+                       fragmentations=spec.fragmentations).expand())
+
+
+def test_alone_cells_precede_their_mix():
+    cells = fig12_spec(SETTINGS).expand()
+    first_mix = next(i for i, c in enumerate(cells)
+                     if c.kind == "mix")
+    assert all(c.kind == "alone" for c in cells[:first_mix])
+    assert first_mix > 0
+
+
+def test_reps_extend_seeds_without_duplicates():
+    spec = ExperimentSpec(name="s", configs=(ConfigSpec(),),
+                          mixes=("mix0",), seeds=(0, 1), reps=2)
+    assert spec.expanded_seeds() == (0, 1, 2)
+
+
+def test_config_spec_materializes_the_preset_exactly():
+    assert ConfigSpec("ddr4_baseline").to_config() == \
+        cfgs.ddr4_baseline()
+    mech = MechanismSpec.from_eru(EruConfig.full(4))
+    assert ConfigSpec("vsb", mechanism=mech).to_config() == cfgs.vsb()
+    assert ConfigSpec("masa", args=(8,)).to_config() == cfgs.masa(8)
+    assert ConfigSpec("masa_eruca", args=(8,),
+                      kwargs=(("ddb", False),)).to_config() == \
+        cfgs.masa_eruca(8, ddb=False)
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError):
+        ConfigSpec("no_such_preset").to_config()
+
+
+def test_inline_config_expands_but_does_not_serialize():
+    inline = ConfigSpec(inline=cfgs.vsb())
+    assert inline.to_config() == cfgs.vsb()
+    spec = ExperimentSpec(name="inline", configs=(inline,),
+                          mixes=("mix0",), accesses_per_core=300)
+    assert spec.expand()
+    assert spec.digest()  # digests via the config digest
+    with pytest.raises(ValueError):
+        spec.to_dict()
+
+
+def test_core_scale_factors_into_the_cells():
+    spec = fig14_spec(SETTINGS, frequencies=(1.333e9, 2.0e9))
+    base = CoreConfig()
+    clocks = {c.core_config.clock_hz for c in spec.expand(base)
+              if c.kind == "mix"}
+    assert clocks == {base.clock_hz,
+                      base.scaled(2.0e9 / 1.333e9).clock_hz}

@@ -36,6 +36,7 @@ def test_public_core_and_dram_api_is_fully_docstringed():
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
     "docs/REFRESH.md",
+    "docs/EXPERIMENTS_SERVICE.md",
 ])
 def test_markdown_links_resolve(page):
     check = _load_tool("check_links")
@@ -46,6 +47,7 @@ def test_markdown_links_resolve(page):
     "docs/ARCHITECTURE.md",
     "docs/OBSERVABILITY.md",
     "docs/REFRESH.md",
+    "docs/EXPERIMENTS_SERVICE.md",
 ])
 def test_doc_examples_execute(page):
     results = doctest.testfile(str(REPO / page), module_relative=False)
@@ -56,3 +58,6 @@ def test_doc_examples_execute(page):
     if page.endswith("REFRESH.md"):
         assert results.attempted >= 8, \
             "the refresh chapter must keep its worked examples"
+    if page.endswith("EXPERIMENTS_SERVICE.md"):
+        assert results.attempted >= 12, \
+            "the experiment-service walkthrough must stay doctested"
